@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harnesses.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+(documented) scale: it runs the corresponding experiment once under
+``pytest-benchmark`` (so the harness also reports how long the simulation
+takes to run), prints the paper-vs-measured comparison, and asserts the
+qualitative shape the paper reports.  EXPERIMENTS.md records the measured
+values.
+"""
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1, warmup_rounds=0)
+
+
+def report(title, comparisons):
+    """Print a paper-vs-measured table (shown with ``pytest -s``)."""
+    from repro.tools import comparison_table
+
+    print()
+    print(f"== {title} ==")
+    print(comparison_table(comparisons))

@@ -1,0 +1,44 @@
+"""Fig. 3: STREAM(ImageNet) bandwidth — tf-Darshan vs dstat.
+
+Paper setup: ImageNet dataset on the Greendog HDD, batch size 128, 16 I/O
+threads, prefetch 10, 100 steps, profiling restarted every 5 steps.  The
+reported bandwidth hovers around 5-15 MiB/s and the tf-Darshan samples track
+the dstat line closely.  The benchmark runs a scaled version (fewer steps)
+and asserts (a) agreement between tf-Darshan and dstat, and (b) the low
+absolute bandwidth characteristic of a small-file workload on a hard disk.
+"""
+
+import pytest
+
+from benchmarks.conftest import report, run_once
+from repro.tools import PaperComparison, mbps, within_factor
+from repro.workloads import run_stream_validation
+
+STEPS = 40
+SCALE = 0.05  # 6 400 files available; 40 x 128 = 5 120 consumed
+
+
+def test_fig3_stream_imagenet_bandwidth(benchmark):
+    result = run_once(benchmark, run_stream_validation, case="imagenet",
+                      steps=STEPS, batch_size=128, threads=16, scale=SCALE,
+                      seed=1)
+
+    dstat_rate = result.dstat.mean_read_rate(ignore_idle=True)
+    tfdarshan_rate = result.mean_tfdarshan_bandwidth
+    comparisons = [
+        PaperComparison("number of tf-Darshan samples (1 per 5 steps)",
+                        str(STEPS // 5), str(len(result.tfdarshan_series)),
+                        len(result.tfdarshan_series) == STEPS // 5),
+        PaperComparison("tf-Darshan tracks dstat", "red dots on blue line",
+                        f"{mbps(tfdarshan_rate)} vs {mbps(dstat_rate)}",
+                        within_factor(tfdarshan_rate, dstat_rate, 1.4)),
+        PaperComparison("bandwidth magnitude", "~5-15 MiB/s",
+                        mbps(result.overall_bandwidth),
+                        3e6 < result.overall_bandwidth < 20e6),
+    ]
+    report("Fig. 3: STREAM(ImageNet) bandwidth", comparisons)
+    assert all(c.matches for c in comparisons)
+    # Every individual tf-Darshan window agrees with the overall rate within
+    # a factor of a few (the paper's samples fluctuate with the dstat line).
+    for _, bandwidth in result.tfdarshan_series:
+        assert within_factor(bandwidth, result.overall_bandwidth, 3.0)

@@ -1,0 +1,92 @@
+"""Fig. 5: profiling overhead relative to running without any profiler.
+
+Paper setup: both use cases and both STREAM benchmarks, batch size 128,
+10 steps.  The use cases profile automatically via the TensorBoard callback
+(whole run); the STREAM benchmarks use the manual method, restarting
+profiling every 5 steps.  Reported overheads: TF Profiler alone 0.1-2.1 %;
+TF Profiler + tf-Darshan roughly 10-20 % for the use cases and 0.6-7 % for
+the STREAM runs, dominated by the post-profiling collection/analysis and
+correlated with the number of files processed per unit time.
+"""
+
+import pytest
+
+from benchmarks.conftest import report, run_once
+from repro.tools import PaperComparison, format_table
+from repro.workloads import run_overhead_case
+
+STEPS = 10
+BATCH = 128
+
+#: Paper values (percent change vs. no profiler), Fig. 5.
+PAPER = {
+    ("imagenet", "tf"): 2.11, ("imagenet", "tfdarshan"): 17.88,
+    ("malware", "tf"): 0.98, ("malware", "tfdarshan"): 10.91,
+    ("stream_imagenet", "tf"): 0.12, ("stream_imagenet", "tfdarshan"): 7.36,
+    ("stream_malware", "tf"): 0.61, ("stream_malware", "tfdarshan"): 0.57,
+}
+
+CASES = ("imagenet", "malware", "stream_imagenet", "stream_malware")
+
+
+def _measure_all():
+    overheads = {}
+    for case in CASES:
+        baseline = run_overhead_case(case, "none", steps=STEPS, batch_size=BATCH,
+                                     seed=1)
+        for profiler in ("tf", "tfdarshan"):
+            elapsed = run_overhead_case(case, profiler, steps=STEPS,
+                                        batch_size=BATCH, seed=1)
+            overheads[(case, profiler)] = 100.0 * (elapsed / baseline - 1.0)
+    return overheads
+
+
+def test_fig5_profiling_overhead(benchmark):
+    overheads = run_once(benchmark, _measure_all)
+
+    rows = [[case, f"{PAPER[(case, 'tf')]:.2f}", f"{overheads[(case, 'tf')]:.2f}",
+             f"{PAPER[(case, 'tfdarshan')]:.2f}",
+             f"{overheads[(case, 'tfdarshan')]:.2f}"] for case in CASES]
+    print()
+    print("== Fig. 5: overhead vs no profiler (percent) ==")
+    print(format_table(["case", "paper TF", "measured TF",
+                        "paper TF+tfD", "measured TF+tfD"], rows))
+
+    comparisons = []
+    for case in CASES:
+        tf_only = overheads[(case, "tf")]
+        tfdarshan = overheads[(case, "tfdarshan")]
+        comparisons.append(PaperComparison(
+            f"{case}: TF Profiler alone is cheap", "<= ~2.5 %",
+            f"{tf_only:.2f} %", -0.5 <= tf_only < 3.5))
+        comparisons.append(PaperComparison(
+            f"{case}: tf-Darshan adds the larger share", ">= TF-only",
+            f"{tfdarshan:.2f} %", tfdarshan >= tf_only - 0.2))
+    # Use cases (automatic, full export): the 10-20 % band of the paper.
+    for case in ("imagenet", "malware"):
+        comparisons.append(PaperComparison(
+            f"{case}: use-case overhead band", "10-20 %",
+            f"{overheads[(case, 'tfdarshan')]:.2f} %",
+            6.0 <= overheads[(case, "tfdarshan")] <= 25.0))
+    # STREAM (manual, lite): the 0.6-7 % band.
+    for case in ("stream_imagenet", "stream_malware"):
+        comparisons.append(PaperComparison(
+            f"{case}: manual-profiling overhead band", "0.6-7 %",
+            f"{overheads[(case, 'tfdarshan')]:.2f} %",
+            0.0 <= overheads[(case, "tfdarshan")] <= 9.0))
+    # Correlation with files per unit time: ImageNet > Malware in both modes.
+    comparisons.append(PaperComparison(
+        "overhead grows with files processed", "ImageNet > Malware",
+        f"{overheads[('imagenet', 'tfdarshan')]:.1f} > "
+        f"{overheads[('malware', 'tfdarshan')]:.1f}",
+        overheads[("imagenet", "tfdarshan")] > overheads[("malware", "tfdarshan")]))
+    comparisons.append(PaperComparison(
+        "overhead grows with files processed (STREAM)",
+        "STREAM(ImageNet) > STREAM(Malware)",
+        f"{overheads[('stream_imagenet', 'tfdarshan')]:.1f} > "
+        f"{overheads[('stream_malware', 'tfdarshan')]:.1f}",
+        overheads[("stream_imagenet", "tfdarshan")]
+        > overheads[("stream_malware", "tfdarshan")]))
+
+    report("Fig. 5: qualitative checks", comparisons)
+    assert all(c.matches for c in comparisons)

@@ -1,0 +1,40 @@
+"""Fig. 6: checkpoint writes captured on Darshan's STDIO layer.
+
+Paper setup: the image classification use case trained for 10 steps with a
+``ModelCheckpoint`` callback writing a checkpoint after every step, all
+checkpoints kept.  TensorFlow writes checkpoints through ``fwrite``, so the
+activity shows up on the STDIO module: about 1 400 fwrite calls.
+"""
+
+import pytest
+
+from benchmarks.conftest import report, run_once
+from repro.tools import PaperComparison
+from repro.workloads import run_checkpoint_case
+
+STEPS = 10
+
+
+def test_fig6_checkpoint_stdio_activity(benchmark):
+    result = run_once(benchmark, run_checkpoint_case, steps=STEPS,
+                      batch_size=64, scale=0.01, checkpoint_every=1, seed=1)
+
+    comparisons = [
+        PaperComparison("checkpoints written", "10 (one per step)",
+                        str(result.checkpoint_fwrites and STEPS),
+                        result.checkpoint_fwrites > 0),
+        PaperComparison("fwrite calls for 10 AlexNet checkpoints", "~1400",
+                        str(result.stdio_writes),
+                        1200 <= result.stdio_writes <= 1700),
+        PaperComparison("checkpoint traffic appears on STDIO (not POSIX reads)",
+                        "STDIO layer", f"{result.stdio_writes} STDIO writes",
+                        result.stdio_writes == result.checkpoint_fwrites),
+        PaperComparison("input reads unaffected",
+                        "POSIX reads = 2x opens",
+                        f"{result.io_profile.posix_reads} reads / "
+                        f"{result.io_profile.posix_opens} opens",
+                        abs(result.io_profile.posix_reads
+                            - 2 * result.io_profile.posix_opens) <= 16),
+    ]
+    report("Fig. 6: checkpointing on the STDIO layer", comparisons)
+    assert all(c.matches for c in comparisons)

@@ -1,0 +1,81 @@
+"""Fig. 7: ImageNet case study — profile with 1 thread vs 28 threads.
+
+Paper observations (Kebnekaise, Lustre, batch 256, full-epoch profile):
+
+* Fig. 7a (1 thread): POSIX bandwidth ~3 MB/s, ~128 K files opened, ~256 K
+  POSIX reads (twice the opens), ~50 % of reads below 100 bytes, ~50 % of
+  reads neither sequential nor consecutive, 96 % of step time waiting for
+  input.
+* Fig. 7b (28 threads): bandwidth rises to ~24 MB/s, an ~8x improvement.
+
+The benchmark runs the same configuration at 1/20 dataset scale (6 400
+files) and checks every one of those shapes, plus the absolute bandwidths
+within a factor of two.
+"""
+
+import pytest
+
+from benchmarks.conftest import report, run_once
+from repro.tools import PaperComparison, mbps, within_factor
+from repro.workloads import run_imagenet_case
+
+SCALE = 0.05
+BATCH = 256
+
+
+def _run_both():
+    one = run_imagenet_case(scale=SCALE, batch_size=BATCH, threads=1,
+                            profile="epoch", seed=1)
+    many = run_imagenet_case(scale=SCALE, batch_size=BATCH, threads=28,
+                             profile="epoch", seed=1)
+    return one, many
+
+
+def test_fig7_imagenet_threading(benchmark):
+    one, many = run_once(benchmark, _run_both)
+    profile = one.io_profile
+    expected_files = one.steps * BATCH
+
+    small_reads = profile.read_size_histogram.get("0_100", 0)
+    pattern = profile.access_pattern
+    speedup = many.posix_bandwidth / one.posix_bandwidth
+
+    comparisons = [
+        PaperComparison("1 thread: POSIX bandwidth", "~3 MB/s",
+                        mbps(one.posix_bandwidth),
+                        within_factor(one.posix_bandwidth, 3e6, 2.0)),
+        PaperComparison("files opened during the epoch",
+                        f"~{expected_files} (scaled from 128K)",
+                        str(profile.posix_opens),
+                        within_factor(profile.posix_opens, expected_files, 1.05)),
+        PaperComparison("POSIX reads ~= 2x opens", "~256K vs 128K",
+                        f"{profile.posix_reads} vs {profile.posix_opens}",
+                        within_factor(profile.posix_reads,
+                                      2 * profile.posix_opens, 1.05)),
+        PaperComparison("~50% of reads below 100 bytes", "~50 %",
+                        f"{100 * small_reads / profile.posix_reads:.1f} %",
+                        0.45 < small_reads / profile.posix_reads < 0.55),
+        PaperComparison("~50% of reads neither seq nor consec", "~50 %",
+                        f"{100 * pattern.random_fraction:.1f} %",
+                        0.45 < pattern.random_fraction < 0.55),
+        PaperComparison("remaining reads are 1KB-1MB", "rest of reads",
+                        str(sum(profile.read_size_histogram.get(b, 0)
+                                for b in ("1K_10K", "10K_100K", "100K_1M"))),
+                        sum(profile.read_size_histogram.get(b, 0)
+                            for b in ("1K_10K", "10K_100K", "100K_1M"))
+                        == profile.posix_reads - small_reads),
+        PaperComparison("28 threads: POSIX bandwidth", "~24 MB/s",
+                        mbps(many.posix_bandwidth),
+                        within_factor(many.posix_bandwidth, 24e6, 2.0)),
+        PaperComparison("threading speedup", "~8x",
+                        f"{speedup:.1f}x", 5.0 <= speedup <= 11.0),
+        PaperComparison("1 thread: step time waiting for input", "~96 %",
+                        f"{one.input_percent:.1f} %",
+                        one.input_percent >= 90.0),
+        PaperComparison("still input bound with 28 threads", "input bound",
+                        f"{many.input_percent:.1f} %",
+                        many.input_percent >= 50.0),
+    ]
+    report("Fig. 7: ImageNet 1 thread vs 28 threads", comparisons)
+    assert all(c.matches for c in comparisons)
+    assert one.fit_time > many.fit_time

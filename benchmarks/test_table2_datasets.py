@@ -1,0 +1,58 @@
+"""Table II: characteristics of the datasets and test-case configurations."""
+
+import pytest
+
+from benchmarks.conftest import report, run_once
+from repro.sim import Environment
+from repro.posix import SimulatedOS
+from repro.storage import LocalFilesystem, hdd
+from repro.tools import PaperComparison, within_factor
+from repro.workloads import build_imagenet_dataset, build_malware_dataset
+
+MIB = 1 << 20
+
+#: The malware corpus is generated at full scale (10 868 files); ImageNet is
+#: generated at 1/10 scale and its totals compared against 1/10 of Table II.
+IMAGENET_SCALE = 0.1
+
+
+def _build():
+    env = Environment()
+    image = SimulatedOS(env)
+    image.mount("/data", LocalFilesystem(env, hdd(env)))
+    imagenet = build_imagenet_dataset(image.vfs, scale=IMAGENET_SCALE)
+    malware = build_malware_dataset(image.vfs, scale=1.0)
+    return imagenet, malware
+
+
+def test_table2_dataset_characteristics(benchmark):
+    imagenet, malware = run_once(benchmark, _build)
+
+    comparisons = [
+        PaperComparison("ImageNet: number of files", f"{int(128000 * IMAGENET_SCALE)}",
+                        str(imagenet.file_count),
+                        imagenet.file_count == int(128000 * IMAGENET_SCALE),
+                        f"scale {IMAGENET_SCALE}"),
+        PaperComparison("ImageNet: total size", f"~{11.6 * IMAGENET_SCALE:.2f} GB",
+                        f"{imagenet.total_bytes / 1e9:.2f} GB",
+                        within_factor(imagenet.total_bytes, 11.6e9 * IMAGENET_SCALE, 1.1)),
+        PaperComparison("ImageNet: median size", "~88 KB",
+                        f"{imagenet.median_bytes / 1e3:.0f} KB",
+                        within_factor(imagenet.median_bytes, 88e3, 1.35)),
+        PaperComparison("Malware: number of files", "10868",
+                        str(malware.file_count), malware.file_count == 10868),
+        PaperComparison("Malware: total size", "~48 GB",
+                        f"{malware.total_bytes / 1e9:.1f} GB",
+                        within_factor(malware.total_bytes, 48e9, 1.1)),
+        PaperComparison("Malware: median size", "~4 MB",
+                        f"{malware.median_bytes / 1e6:.1f} MB",
+                        within_factor(malware.median_bytes, 4e6, 1.3)),
+        PaperComparison("Malware: files < 2 MiB", "~40 % of files",
+                        f"{100 * len(malware.files_below(2 * MIB)) / malware.file_count:.1f} %",
+                        0.35 < len(malware.files_below(2 * MIB)) / malware.file_count < 0.46),
+        PaperComparison("Malware: bytes < 2 MiB", "~8 % of bytes (3.7 GB)",
+                        f"{100 * malware.bytes_below(2 * MIB) / malware.total_bytes:.1f} %",
+                        0.05 < malware.bytes_below(2 * MIB) / malware.total_bytes < 0.11),
+    ]
+    report("Table II: dataset characteristics", comparisons)
+    assert all(c.matches for c in comparisons)

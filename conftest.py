@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make the in-tree package importable without installation.
+
+The repository is normally installed with ``pip install -e .`` (or
+``python setup.py develop`` on machines without the ``wheel`` package), but
+adding ``src/`` to ``sys.path`` here lets the tests and benchmarks run from a
+plain checkout as well.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

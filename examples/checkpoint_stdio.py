@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Checkpoint I/O on the STDIO layer (paper Section IV-D, Fig. 6).
+
+Trains the image-classification model for ten steps, writing a checkpoint
+after every step, and shows that Darshan's STDIO module captures the
+checkpoint traffic (about 1 400 ``fwrite`` calls for ten AlexNet
+checkpoints) while the POSIX module keeps seeing only the dataset reads.
+
+Run with:  python examples/checkpoint_stdio.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.tools import format_table, mib
+from repro.workloads import run_checkpoint_case
+
+
+def main() -> None:
+    result = run_checkpoint_case(steps=10, batch_size=64, scale=0.01,
+                                 checkpoint_every=1, seed=0)
+    profile = result.io_profile
+
+    print("tf-Darshan view of a run with per-step checkpoints")
+    print("---------------------------------------------------")
+    rows = [
+        ["POSIX opens (dataset reads)", profile.posix_opens],
+        ["POSIX reads", profile.posix_reads],
+        ["POSIX bytes read", mib(profile.posix_bytes_read)],
+        ["STDIO opens (checkpoint files)", profile.stdio_opens],
+        ["STDIO fwrite calls", profile.stdio_writes],
+        ["STDIO bytes written", mib(profile.stdio_bytes_written)],
+    ]
+    print(format_table(["counter", "value"], rows))
+    print()
+    print(f"checkpoints written           : 10 (one per step)")
+    print(f"fwrite calls (callback total) : {result.checkpoint_fwrites}")
+    print(f"paper's observation           : ~1400 fwrite calls on the STDIO layer")
+
+
+if __name__ == "__main__":
+    main()

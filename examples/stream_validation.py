@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Tool validation with the STREAM ingestion benchmark (paper Fig. 3/4).
+
+Runs the no-compute STREAM pipeline over the (scaled) ImageNet and malware
+datasets on the Greendog HDD, restarting tf-Darshan profiling every five
+steps, with a dstat monitor watching the disks in the background — then
+prints the two bandwidth series side by side so their agreement (the paper's
+validation argument) is visible, along with the ~10x gap between the two
+datasets.
+
+Run with:  python examples/stream_validation.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.tools import format_table, mbps
+from repro.workloads import run_stream_validation
+
+
+def describe(name, result):
+    print(f"== STREAM({name}) ==")
+    print(f"steps: {result.steps}, data read: {result.total_bytes / 1e9:.2f} GB, "
+          f"elapsed: {result.elapsed:.0f} s")
+    rows = []
+    for index, (end_time, bandwidth) in enumerate(result.tfdarshan_series):
+        rows.append([index, f"{end_time:.1f} s", mbps(bandwidth)])
+    print(format_table(["window", "end time", "tf-Darshan bandwidth"], rows))
+    dstat_rate = result.dstat.mean_read_rate(ignore_idle=True)
+    print(f"dstat mean rate  : {mbps(dstat_rate)}")
+    print(f"tf-Darshan mean  : {mbps(result.mean_tfdarshan_bandwidth)}")
+    print()
+    return result
+
+
+def main() -> None:
+    imagenet = describe("ImageNet", run_stream_validation(
+        "imagenet", steps=30, batch_size=128, threads=16, scale=0.04, seed=0))
+    malware = describe("Malware", run_stream_validation(
+        "malware", steps=15, batch_size=128, threads=16, scale=0.2, seed=0))
+    ratio = malware.overall_bandwidth / imagenet.overall_bandwidth
+    print(f"STREAM(Malware) / STREAM(ImageNet) bandwidth ratio: {ratio:.1f}x "
+          f"(paper: ~10x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""repro: a reproduction of *tf-Darshan* (Chien et al., CLUSTER 2020).
+
+The package provides a complete, self-contained software stack for studying
+fine-grained I/O behaviour of machine-learning input pipelines:
+
+``repro.sim``
+    A discrete-event simulation kernel (processes, events, resources, fluid
+    bandwidth sharing) that provides the virtual clock everything runs on.
+
+``repro.storage``
+    Device and filesystem models: HDD / SSD / Optane devices, an ext4-like
+    local filesystem, a Lustre-like parallel filesystem, multi-tier mounts
+    and file staging, and per-device transfer metrics.
+
+``repro.posix``
+    A POSIX layer on top of the storage models: a virtual filesystem,
+    file-descriptor table, POSIX syscalls, buffered STDIO streams, and the
+    dynamic symbol dispatch table that plays the role of the Global Offset
+    Table in the paper.
+
+``repro.darshan``
+    A reimplementation of the Darshan runtime: POSIX and STDIO counter
+    modules, DXT tracing, log serialization and a pydarshan-style reader,
+    plus the data-extraction API that tf-Darshan requires.
+
+``repro.tfmini``
+    A TensorFlow-like mini framework: ``tf.data``-style datasets, Keras-like
+    models and callbacks, checkpointing, and the TensorFlow Profiler
+    (TraceMe recorder, pluggable tracers, trace-event export, input-pipeline
+    analysis).
+
+``repro.core``
+    The paper's contribution: the ``DarshanTracer`` profiler plugin, the
+    runtime-attachment middle man, in-situ extraction and analysis of
+    Darshan records, TensorBoard-style report generation and the
+    optimization advisors used in the case studies.
+
+``repro.tools`` and ``repro.workloads``
+    A dstat-like disk monitor, a STREAM-like ingestion benchmark, synthetic
+    dataset generators and the experiment runners used by the benchmark
+    harnesses.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,76 @@
+"""tf-Darshan: fine-grained I/O profiling inside the TensorFlow profiler.
+
+This package is the paper's contribution: the ``DarshanTracer`` profiler
+plugin, the runtime attachment that patches the process's I/O symbols, the
+middle-man snapshot/extraction layer, the in-situ analysis, the TensorBoard
+Profile-plugin extension and the optimization advisors used in the case
+studies.
+"""
+
+from repro.core.analysis import AccessPattern, FileIOStats, InSituAnalyzer, IOProfile
+from repro.core.advisor import (
+    StagingAdvisor,
+    StagingRecommendation,
+    ThreadingAdvisor,
+    ThreadingRecommendation,
+)
+from repro.core.attach import RuntimeAttachment, get_attachment
+from repro.core.config import TfDarshanCosts, TfDarshanOptions
+from repro.core.events import (
+    DARSHAN_PLANE_NAME,
+    DARSHAN_STDIO_PLANE_NAME,
+    build_posix_plane,
+    build_stdio_plane,
+    reads_overlapping,
+    zero_length_read_files,
+)
+from repro.core.session import (
+    TfDarshanSession,
+    WindowResult,
+    enable,
+    is_enabled,
+    last_profile,
+)
+from repro.core.tensorboard import ProfilePluginData, build_plugin_data, render_histogram
+from repro.core.tracer import DarshanTracer, register_tf_darshan
+from repro.core.wrapper import (
+    DarshanMiddleman,
+    RecordDelta,
+    Snapshot,
+    SnapshotDelta,
+)
+
+__all__ = [
+    "AccessPattern",
+    "DARSHAN_PLANE_NAME",
+    "DARSHAN_STDIO_PLANE_NAME",
+    "DarshanMiddleman",
+    "DarshanTracer",
+    "FileIOStats",
+    "IOProfile",
+    "InSituAnalyzer",
+    "ProfilePluginData",
+    "RecordDelta",
+    "RuntimeAttachment",
+    "Snapshot",
+    "SnapshotDelta",
+    "StagingAdvisor",
+    "StagingRecommendation",
+    "TfDarshanCosts",
+    "TfDarshanOptions",
+    "TfDarshanSession",
+    "ThreadingAdvisor",
+    "ThreadingRecommendation",
+    "WindowResult",
+    "build_plugin_data",
+    "build_posix_plane",
+    "build_stdio_plane",
+    "enable",
+    "get_attachment",
+    "is_enabled",
+    "last_profile",
+    "reads_overlapping",
+    "register_tf_darshan",
+    "render_histogram",
+    "zero_length_read_files",
+]

@@ -1,0 +1,94 @@
+"""Runtime attachment of Darshan instrumentation (the paper's Fig. 2).
+
+Stock Darshan relies on ``LD_PRELOAD``; tf-Darshan instead loads the Darshan
+shared library at the moment the first profiling session starts, scans the
+process's Global Offset Table for the I/O symbols it wants to interpose and
+patches them to point into Darshan — all without restarting the process and
+without modifying Darshan itself.  In the reproduction the "GOT" is the
+:class:`~repro.posix.dispatch.SymbolTable` of the simulated process and
+"loading libdarshan.so" instantiates the Darshan runtime objects.
+
+Attachment is idempotent and reversible: ``detach`` restores every patched
+symbol, which the paper lists as a capability difference against stock
+Darshan (runtime start/stop in Table I).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.darshan.posix_module import PosixModule
+from repro.darshan.runtime import DarshanCore
+from repro.darshan.stdio_module import StdioModule
+from repro.core.config import TfDarshanOptions
+
+
+class RuntimeAttachment:
+    """Loads Darshan into the running process and patches the symbol table."""
+
+    def __init__(self, runtime, options: Optional[TfDarshanOptions] = None):
+        self.runtime = runtime
+        self.env = runtime.env
+        self.options = options or TfDarshanOptions()
+        self.symbols = runtime.os.symbols
+        self.core: Optional[DarshanCore] = None
+        self.posix_module: Optional[PosixModule] = None
+        self.stdio_module: Optional[StdioModule] = None
+        self.attached = False
+        self.patched_symbols: List[str] = []
+        #: Number of times attach() found itself already attached.
+        self.reattach_requests = 0
+
+    # -- lifecycle ----------------------------------------------------------
+    def attach(self) -> Generator:
+        """Load Darshan and patch the requested symbols (idempotent)."""
+        if self.attached:
+            self.reattach_requests += 1
+            return self
+        # "dlopen libdarshan.so": instantiate the Darshan runtime inside the
+        # process.  DXT follows the tf-Darshan option.
+        darshan_config = self.options.darshan
+        darshan_config.enable_dxt = self.options.enable_dxt
+        self.core = DarshanCore(self.env, darshan_config)
+        self.posix_module = PosixModule(self.core)
+        self.stdio_module = StdioModule(self.core)
+
+        # "Scan the GOT": every registered I/O symbol we were asked to
+        # interpose and that actually resolves in this process.
+        available = set(self.symbols.symbols())
+        wanted = [name for name in self.options.symbols if name in available]
+        real: Dict[str, object] = {name: self.symbols.resolve(name)
+                                   for name in wanted}
+
+        # "Patch the GOT": redirect the symbols into the Darshan wrappers.
+        for name, wrapper in self.posix_module.make_wrappers(real).items():
+            self.symbols.patch(name, wrapper)
+            self.patched_symbols.append(name)
+        for name, wrapper in self.stdio_module.make_wrappers(real).items():
+            self.symbols.patch(name, wrapper)
+            self.patched_symbols.append(name)
+
+        yield self.env.timeout(self.options.costs.attach)
+        self.attached = True
+        return self
+
+    def detach(self) -> Generator:
+        """Restore every symbol this attachment patched."""
+        if not self.attached:
+            return self
+        for name in self.patched_symbols:
+            self.symbols.restore(name)
+        self.patched_symbols = []
+        yield self.env.timeout(self.options.costs.detach)
+        self.attached = False
+        return self
+
+
+def get_attachment(runtime, options: Optional[TfDarshanOptions] = None
+                   ) -> RuntimeAttachment:
+    """The per-process attachment singleton (one Darshan per process)."""
+    existing = getattr(runtime, "_tf_darshan_attachment", None)
+    if existing is None:
+        existing = RuntimeAttachment(runtime, options)
+        runtime._tf_darshan_attachment = existing
+    return existing

@@ -1,0 +1,88 @@
+"""Conversion of DXT segments into TraceViewer timelines.
+
+tf-Darshan adds a plane to the collected profile in which every file Darshan
+saw becomes one timeline and every POSIX read/write segment becomes one
+event — the view used in Fig. 8 (zero-length reads terminating every file)
+and Fig. 10 (the POSIX segments belonging to one TensorFlow ReadFile op).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.darshan.dxt import DxtSegment
+from repro.tfmini.profiler.xplane import XEvent, XPlane
+from repro.core.wrapper import SnapshotDelta
+
+#: Name of the plane tf-Darshan adds to the XSpace.
+DARSHAN_PLANE_NAME = "/host:tf-Darshan POSIX"
+DARSHAN_STDIO_PLANE_NAME = "/host:tf-Darshan STDIO"
+
+
+def segment_to_event(segment: DxtSegment) -> XEvent:
+    """One DXT segment becomes one TraceViewer event."""
+    name = "pread" if segment.op == "read" else "pwrite"
+    if segment.op == "read" and segment.length == 0:
+        name = "pread (zero-length)"
+    return XEvent(
+        name=name,
+        start=segment.start_time,
+        duration=segment.duration,
+        metadata={"offset": segment.offset, "length": segment.length,
+                  "op": segment.op},
+    )
+
+
+def build_posix_plane(delta: SnapshotDelta,
+                      resolve_name: Callable[[int], Optional[str]],
+                      plane_name: str = DARSHAN_PLANE_NAME) -> XPlane:
+    """Build the per-file POSIX timeline plane from a snapshot delta."""
+    plane = XPlane(plane_name)
+    for record_id, segments in sorted(delta.dxt_posix.items()):
+        path = resolve_name(record_id) or f"record-{record_id:#x}"
+        line = plane.line(path)
+        for segment in segments:
+            line.add(segment_to_event(segment))
+    plane.stats["num_files"] = len(delta.dxt_posix)
+    plane.stats["num_events"] = plane.event_count
+    return plane
+
+
+def build_stdio_plane(delta: SnapshotDelta,
+                      resolve_name: Callable[[int], Optional[str]]) -> XPlane:
+    """Build the STDIO (checkpoint traffic) timeline plane."""
+    plane = XPlane(DARSHAN_STDIO_PLANE_NAME)
+    for record_id, segments in sorted(delta.dxt_stdio.items()):
+        path = resolve_name(record_id) or f"record-{record_id:#x}"
+        line = plane.line(path)
+        for segment in segments:
+            event = segment_to_event(segment)
+            event.name = "fread" if segment.op == "read" else "fwrite"
+            line.add(event)
+    plane.stats["num_files"] = len(delta.dxt_stdio)
+    plane.stats["num_events"] = plane.event_count
+    return plane
+
+
+def zero_length_read_files(delta: SnapshotDelta,
+                           resolve_name: Callable[[int], Optional[str]]
+                           ) -> List[str]:
+    """Paths whose final traced read was a zero-length read (Fig. 8)."""
+    out: List[str] = []
+    for record_id, segments in delta.dxt_posix.items():
+        reads = [s for s in segments if s.op == "read"]
+        if reads and reads[-1].length == 0:
+            out.append(resolve_name(record_id) or f"record-{record_id:#x}")
+    return sorted(out)
+
+
+def reads_overlapping(delta: SnapshotDelta, start: float, end: float
+                      ) -> Dict[int, List[DxtSegment]]:
+    """Segments overlapping a host-op window (how Fig. 10 relates a
+    TensorFlow ReadFile op to its POSIX segments by time range)."""
+    out: Dict[int, List[DxtSegment]] = {}
+    for record_id, segments in delta.dxt_posix.items():
+        hits = [s for s in segments if s.end_time > start and s.start_time < end]
+        if hits:
+            out[record_id] = hits
+    return out

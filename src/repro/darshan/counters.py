@@ -1,0 +1,154 @@
+"""Darshan counter definitions.
+
+The counter names and their semantics follow Darshan 3.2.0's POSIX and
+STDIO modules (the version the paper builds on) so that analyses written
+against real Darshan logs — operation counts, sequential/consecutive access
+classification, access-size histograms — read identically against this
+reimplementation.  Only the counters the paper's analyses touch are
+implemented, but those are implemented with Darshan's exact update rules
+(see :mod:`repro.darshan.posix_module`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: Integer counters of the POSIX module.
+POSIX_COUNTERS: Tuple[str, ...] = (
+    "POSIX_OPENS",
+    "POSIX_FILENOS",
+    "POSIX_DUPS",
+    "POSIX_READS",
+    "POSIX_WRITES",
+    "POSIX_SEEKS",
+    "POSIX_STATS",
+    "POSIX_FSYNCS",
+    "POSIX_BYTES_READ",
+    "POSIX_BYTES_WRITTEN",
+    "POSIX_MAX_BYTE_READ",
+    "POSIX_MAX_BYTE_WRITTEN",
+    "POSIX_CONSEC_READS",
+    "POSIX_CONSEC_WRITES",
+    "POSIX_SEQ_READS",
+    "POSIX_SEQ_WRITES",
+    "POSIX_RW_SWITCHES",
+    "POSIX_SIZE_READ_0_100",
+    "POSIX_SIZE_READ_100_1K",
+    "POSIX_SIZE_READ_1K_10K",
+    "POSIX_SIZE_READ_10K_100K",
+    "POSIX_SIZE_READ_100K_1M",
+    "POSIX_SIZE_READ_1M_4M",
+    "POSIX_SIZE_READ_4M_10M",
+    "POSIX_SIZE_READ_10M_100M",
+    "POSIX_SIZE_READ_100M_1G",
+    "POSIX_SIZE_READ_1G_PLUS",
+    "POSIX_SIZE_WRITE_0_100",
+    "POSIX_SIZE_WRITE_100_1K",
+    "POSIX_SIZE_WRITE_1K_10K",
+    "POSIX_SIZE_WRITE_10K_100K",
+    "POSIX_SIZE_WRITE_100K_1M",
+    "POSIX_SIZE_WRITE_1M_4M",
+    "POSIX_SIZE_WRITE_4M_10M",
+    "POSIX_SIZE_WRITE_10M_100M",
+    "POSIX_SIZE_WRITE_100M_1G",
+    "POSIX_SIZE_WRITE_1G_PLUS",
+    "POSIX_ACCESS1_ACCESS",
+    "POSIX_ACCESS2_ACCESS",
+    "POSIX_ACCESS3_ACCESS",
+    "POSIX_ACCESS4_ACCESS",
+    "POSIX_ACCESS1_COUNT",
+    "POSIX_ACCESS2_COUNT",
+    "POSIX_ACCESS3_COUNT",
+    "POSIX_ACCESS4_COUNT",
+)
+
+#: Floating-point (time) counters of the POSIX module.
+POSIX_F_COUNTERS: Tuple[str, ...] = (
+    "POSIX_F_OPEN_START_TIMESTAMP",
+    "POSIX_F_READ_START_TIMESTAMP",
+    "POSIX_F_WRITE_START_TIMESTAMP",
+    "POSIX_F_CLOSE_START_TIMESTAMP",
+    "POSIX_F_OPEN_END_TIMESTAMP",
+    "POSIX_F_READ_END_TIMESTAMP",
+    "POSIX_F_WRITE_END_TIMESTAMP",
+    "POSIX_F_CLOSE_END_TIMESTAMP",
+    "POSIX_F_READ_TIME",
+    "POSIX_F_WRITE_TIME",
+    "POSIX_F_META_TIME",
+    "POSIX_F_MAX_READ_TIME",
+    "POSIX_F_MAX_WRITE_TIME",
+)
+
+#: Integer counters of the STDIO module.
+STDIO_COUNTERS: Tuple[str, ...] = (
+    "STDIO_OPENS",
+    "STDIO_FDOPENS",
+    "STDIO_READS",
+    "STDIO_WRITES",
+    "STDIO_SEEKS",
+    "STDIO_FLUSHES",
+    "STDIO_BYTES_READ",
+    "STDIO_BYTES_WRITTEN",
+    "STDIO_MAX_BYTE_READ",
+    "STDIO_MAX_BYTE_WRITTEN",
+)
+
+#: Floating-point (time) counters of the STDIO module.
+STDIO_F_COUNTERS: Tuple[str, ...] = (
+    "STDIO_F_OPEN_START_TIMESTAMP",
+    "STDIO_F_CLOSE_START_TIMESTAMP",
+    "STDIO_F_WRITE_START_TIMESTAMP",
+    "STDIO_F_READ_START_TIMESTAMP",
+    "STDIO_F_OPEN_END_TIMESTAMP",
+    "STDIO_F_CLOSE_END_TIMESTAMP",
+    "STDIO_F_WRITE_END_TIMESTAMP",
+    "STDIO_F_READ_END_TIMESTAMP",
+    "STDIO_F_META_TIME",
+    "STDIO_F_WRITE_TIME",
+    "STDIO_F_READ_TIME",
+)
+
+#: Darshan's access-size histogram bucket boundaries (upper bound inclusive).
+SIZE_BUCKET_BOUNDS: Tuple[Tuple[str, int], ...] = (
+    ("0_100", 100),
+    ("100_1K", 1024),
+    ("1K_10K", 10 * 1024),
+    ("10K_100K", 100 * 1024),
+    ("100K_1M", 1024 * 1024),
+    ("1M_4M", 4 * 1024 * 1024),
+    ("4M_10M", 10 * 1024 * 1024),
+    ("10M_100M", 100 * 1024 * 1024),
+    ("100M_1G", 1024 * 1024 * 1024),
+    ("1G_PLUS", None),
+)
+
+#: Human-readable labels of the size buckets, in order (used by reports).
+SIZE_BUCKET_LABELS: Tuple[str, ...] = tuple(name for name, _ in SIZE_BUCKET_BOUNDS)
+
+
+def size_bucket(nbytes: int) -> str:
+    """Darshan's access-size bucket label for an access of ``nbytes``."""
+    if nbytes < 0:
+        raise ValueError("access size must be non-negative")
+    for name, bound in SIZE_BUCKET_BOUNDS:
+        if bound is None or nbytes <= bound:
+            return name
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def size_counter_name(module_prefix: str, is_write: bool, nbytes: int) -> str:
+    """Full counter name, e.g. ``POSIX_SIZE_READ_100K_1M``."""
+    direction = "WRITE" if is_write else "READ"
+    return f"{module_prefix}_SIZE_{direction}_{size_bucket(nbytes)}"
+
+
+def read_size_histogram(counters: Dict[str, int], module_prefix: str = "POSIX",
+                        is_write: bool = False) -> Dict[str, int]:
+    """Extract the access-size histogram from a counter mapping."""
+    direction = "WRITE" if is_write else "READ"
+    out = {}
+    for label in SIZE_BUCKET_LABELS:
+        key = f"{module_prefix}_SIZE_{direction}_{label}"
+        if key in counters:
+            out[label] = counters[key]
+    return out

@@ -1,0 +1,119 @@
+"""Darshan heat-map summaries: time-binned I/O intensity.
+
+Recent Darshan versions ship a ``HEATMAP`` module that histograms transferred
+bytes into fixed time bins; darshan-util renders it as the familiar
+runtime-vs-rank heat map.  The reproduction derives the same view from DXT
+segments (per file rather than per rank, since the paper's workloads are
+single-process), which gives tf-Darshan's reports a compact time-resolved
+picture without shipping every segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.darshan.dxt import DxtRecord, DxtSegment
+
+
+@dataclass
+class Heatmap:
+    """Bytes moved per (file, time-bin)."""
+
+    bin_edges: np.ndarray
+    read_bins: Dict[int, np.ndarray] = field(default_factory=dict)
+    write_bins: Dict[int, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def n_bins(self) -> int:
+        return max(0, len(self.bin_edges) - 1)
+
+    def total_read_series(self) -> np.ndarray:
+        """Bytes read per bin summed over every file."""
+        if not self.read_bins:
+            return np.zeros(self.n_bins)
+        return np.sum(list(self.read_bins.values()), axis=0)
+
+    def total_write_series(self) -> np.ndarray:
+        """Bytes written per bin summed over every file."""
+        if not self.write_bins:
+            return np.zeros(self.n_bins)
+        return np.sum(list(self.write_bins.values()), axis=0)
+
+    def busiest_bin(self) -> int:
+        """Index of the time bin with the most combined traffic."""
+        combined = self.total_read_series() + self.total_write_series()
+        return int(np.argmax(combined)) if len(combined) else 0
+
+    def render(self, resolve_name=None, max_files: int = 10,
+               width: int = 40) -> str:
+        """ASCII heat map (one row per file, darkest = most bytes)."""
+        shades = " .:-=+*#%@"
+        rows: List[str] = ["I/O heat map (reads)"]
+        totals = {rid: bins.sum() for rid, bins in self.read_bins.items()}
+        top = sorted(totals, key=totals.get, reverse=True)[:max_files]
+        peak = max((self.read_bins[rid].max() for rid in top), default=1.0)
+        for rid in top:
+            bins = self.read_bins[rid]
+            # Downsample to the requested width.
+            idx = np.linspace(0, len(bins), width + 1).astype(int)
+            cells = [bins[a:b].sum() for a, b in zip(idx[:-1], idx[1:])]
+            cell_peak = max(peak / max(1, len(bins) // width), 1.0)
+            line = "".join(
+                shades[min(len(shades) - 1,
+                           int(len(shades) * min(1.0, c / cell_peak)))]
+                for c in cells)
+            name = resolve_name(rid) if resolve_name else f"{rid:#x}"
+            rows.append(f"{(name or '')[-32:]:<32} |{line}|")
+        return "\n".join(rows)
+
+
+def build_heatmap(dxt_records: Iterable[DxtRecord],
+                  window_start: float, window_end: float,
+                  bin_seconds: float = 1.0) -> Heatmap:
+    """Bin every DXT segment of the window into ``bin_seconds`` buckets.
+
+    A segment's bytes are spread uniformly over its duration, so a long read
+    contributes to every bin it overlaps (the same convention the dstat
+    monitor uses, which makes the two views directly comparable).
+    """
+    if window_end <= window_start:
+        raise ValueError("window_end must be after window_start")
+    if bin_seconds <= 0:
+        raise ValueError("bin_seconds must be positive")
+    edges = np.arange(window_start, window_end + bin_seconds, bin_seconds)
+    if edges[-1] < window_end:
+        edges = np.append(edges, window_end)
+    heatmap = Heatmap(bin_edges=edges)
+    n_bins = heatmap.n_bins
+
+    def accumulate(target: Dict[int, np.ndarray], record_id: int,
+                   segment: DxtSegment) -> None:
+        bins = target.setdefault(record_id, np.zeros(n_bins))
+        start = max(segment.start_time, window_start)
+        end = min(segment.end_time, window_end)
+        if end <= start:
+            # Instantaneous (or out-of-window) segment: drop into one bin.
+            if window_start <= segment.start_time < window_end and segment.length:
+                index = min(n_bins - 1,
+                            int((segment.start_time - window_start) / bin_seconds))
+                bins[index] += segment.length
+            return
+        duration = segment.end_time - segment.start_time
+        rate = segment.length / duration if duration > 0 else 0.0
+        first = int((start - window_start) / bin_seconds)
+        last = min(n_bins - 1, int((end - window_start) / bin_seconds))
+        for index in range(first, last + 1):
+            bin_start = edges[index]
+            bin_end = edges[index + 1]
+            overlap = max(0.0, min(end, bin_end) - max(start, bin_start))
+            bins[index] += rate * overlap
+
+    for record in dxt_records:
+        for segment in record.read_segments:
+            accumulate(heatmap.read_bins, record.record_id, segment)
+        for segment in record.write_segments:
+            accumulate(heatmap.write_bins, record.record_id, segment)
+    return heatmap

@@ -1,0 +1,121 @@
+"""The Darshan runtime core (``darshan-core``).
+
+The core owns job-level metadata, the shared name-record table mapping
+record ids back to file paths, and the registered instrumentation modules.
+In the non-MPI Darshan 3.2.0-pre that the paper uses, the core is normally
+initialised by the library constructor and writes its log at process exit;
+here the same object can also be handed to tf-Darshan's runtime attachment,
+which additionally uses the extraction API in
+:mod:`repro.darshan.extraction` to read live records.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim import Environment
+from repro.darshan.records import NameRecord, darshan_record_id
+
+#: Version string reported in log headers, matching the paper's base version.
+DARSHAN_VERSION = "3.2.0-pre-repro"
+
+
+@dataclass
+class DarshanConfig:
+    """Tunable behaviour of the Darshan runtime.
+
+    The defaults aim at the paper's configuration: DXT enabled, enough module
+    memory to track every file of the ImageNet epoch, and per-operation
+    instrumentation overhead of the order of a microsecond (Darshan is
+    explicitly a low-overhead tool; the expensive part of tf-Darshan is the
+    post-profiling analysis, modelled in :mod:`repro.core.costs`).
+    """
+
+    #: Record individual I/O segments (DXT modules).
+    enable_dxt: bool = True
+    #: Maximum counter records kept per module before the log is marked partial.
+    max_records_per_module: int = 1 << 20
+    #: Maximum DXT segments kept per file record.
+    max_dxt_segments_per_record: int = 1 << 16
+    #: Simulated CPU time charged per wrapped I/O call (seconds).
+    instrumentation_overhead: float = 1.0e-6
+    #: Additional cost the first time a new file record is instantiated.
+    record_creation_overhead: float = 4.0e-6
+    #: Rank recorded in the records (the paper's runs are single-process).
+    rank: int = 0
+    #: Job identifier written into the log header.
+    jobid: int = 4000000
+
+
+class DarshanCore:
+    """Shared state of the Darshan runtime inside one process."""
+
+    def __init__(self, env: Environment, config: Optional[DarshanConfig] = None):
+        self.env = env
+        self.config = config or DarshanConfig()
+        self.enabled = True
+        self.start_time = env.now
+        self.end_time: Optional[float] = None
+        self._name_records: Dict[int, NameRecord] = {}
+        self._modules: Dict[str, object] = {}
+        self.exe = "python train.py"
+        self.metadata: Dict[str, str] = {"lib_ver": DARSHAN_VERSION}
+
+    # -- module registration --------------------------------------------------
+    def register_module(self, name: str, module: object) -> None:
+        """Register an instrumentation module under ``name``."""
+        if name in self._modules:
+            raise ValueError(f"module {name!r} already registered")
+        self._modules[name] = module
+
+    def get_module(self, name: str):
+        """Look up a registered module (None if absent)."""
+        return self._modules.get(name)
+
+    @property
+    def modules(self) -> Dict[str, object]:
+        return dict(self._modules)
+
+    # -- name records --------------------------------------------------------------
+    def register_name(self, path: str) -> int:
+        """Register a file path and return its Darshan record id."""
+        record_id = darshan_record_id(path)
+        if record_id not in self._name_records:
+            self._name_records[record_id] = NameRecord(record_id, path)
+        return record_id
+
+    def lookup_name(self, record_id: int) -> Optional[str]:
+        """Resolve a record id back to its path (``None`` if unknown)."""
+        rec = self._name_records.get(record_id)
+        return rec.name if rec else None
+
+    @property
+    def name_records(self) -> Dict[int, NameRecord]:
+        return dict(self._name_records)
+
+    # -- lifecycle --------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Freeze the runtime (normally called at process exit)."""
+        self.enabled = False
+        self.end_time = self.env.now
+        for module in self._modules.values():
+            finalize = getattr(module, "finalize", None)
+            if callable(finalize):
+                finalize()
+
+    def job_header(self) -> Dict[str, object]:
+        """Header fields written into the Darshan log."""
+        end = self.end_time if self.end_time is not None else self.env.now
+        return {
+            "version": DARSHAN_VERSION,
+            "jobid": self.config.jobid,
+            "uid": 1000,
+            "nprocs": 1,
+            "start_time": self.start_time,
+            "end_time": end,
+            "run_time": max(0.0, end - self.start_time),
+            "exe": self.exe,
+            "metadata": dict(self.metadata),
+        }

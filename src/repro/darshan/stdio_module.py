@@ -1,0 +1,219 @@
+"""Darshan STDIO instrumentation module.
+
+Instruments the buffered stream API (``fopen``/``fread``/``fwrite``/...).
+TensorFlow writes checkpoints through ``fwrite`` in its POSIX filesystem
+plugin, so checkpoint traffic appears on this module's counters — the
+behaviour Fig. 6 of the paper demonstrates (about 1 400 ``fwrite`` calls for
+ten per-step checkpoints of the AlexNet model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, Optional
+
+from repro.darshan.counters import STDIO_COUNTERS, STDIO_F_COUNTERS
+from repro.darshan.dxt import DxtRecord, DxtSegment
+from repro.darshan.records import CounterRecord
+from repro.darshan.runtime import DarshanCore
+
+MODULE_NAME = "STDIO"
+DXT_MODULE_NAME = "DXT_STDIO"
+
+
+@dataclass
+class _StreamRef:
+    """Association between a FILE* stream and its Darshan record."""
+
+    record_id: int
+    path: str
+    position: int = 0
+
+
+class StdioModule:
+    """Instruments STDIO symbols and accumulates per-file counter records."""
+
+    def __init__(self, core: DarshanCore):
+        self.core = core
+        self.env = core.env
+        self.config = core.config
+        self.records: Dict[int, CounterRecord] = {}
+        self.dxt_records: Dict[int, DxtRecord] = {}
+        self._stream_refs: Dict[int, _StreamRef] = {}
+        self.partial_flag = False
+        self.untracked_ops = 0
+        core.register_module(MODULE_NAME, self)
+
+    # -- record management ------------------------------------------------------
+    def _get_record(self, path: str) -> Optional[CounterRecord]:
+        record_id = self.core.register_name(path)
+        record = self.records.get(record_id)
+        if record is None:
+            if len(self.records) >= self.config.max_records_per_module:
+                self.partial_flag = True
+                return None
+            record = CounterRecord(record_id, self.config.rank,
+                                   STDIO_COUNTERS, STDIO_F_COUNTERS)
+            self.records[record_id] = record
+            if self.config.enable_dxt:
+                self.dxt_records[record_id] = DxtRecord(record_id, self.config.rank)
+        return record
+
+    def finalize(self) -> None:
+        """STDIO has no derived counters; present for interface symmetry."""
+
+    def _overhead(self, new_record: bool = False) -> Generator:
+        cost = self.config.instrumentation_overhead
+        if new_record:
+            cost += self.config.record_creation_overhead
+        if cost > 0:
+            yield self.env.timeout(cost)
+
+    def _ref_for(self, stream: object) -> Optional[_StreamRef]:
+        stream_id = getattr(stream, "stream_id", None)
+        if stream_id is None:
+            stream_id = stream
+        return self._stream_refs.get(stream_id)
+
+    def _track_transfer(self, ref: _StreamRef, is_write: bool, nbytes: int,
+                        start: float, end: float) -> None:
+        record = self.records.get(ref.record_id)
+        if record is None:  # pragma: no cover - defensive
+            return
+        direction = "WRITE" if is_write else "READ"
+        record.inc(f"STDIO_{direction}S")
+        record.inc(f"STDIO_BYTES_{'WRITTEN' if is_write else 'READ'}", nbytes)
+        offset = ref.position
+        end_byte = offset + max(0, nbytes - 1)
+        record.maximum(f"STDIO_MAX_BYTE_{'WRITTEN' if is_write else 'READ'}", end_byte)
+        record.fset_first(f"STDIO_F_{direction}_START_TIMESTAMP", start)
+        record.fset_max(f"STDIO_F_{direction}_END_TIMESTAMP", end)
+        record.fadd(f"STDIO_F_{direction}_TIME", end - start)
+        if self.config.enable_dxt:
+            dxt = self.dxt_records.get(ref.record_id)
+            if dxt is not None:
+                dxt.add(DxtSegment(op="write" if is_write else "read",
+                                   offset=offset, length=nbytes,
+                                   start_time=start, end_time=end),
+                        max_segments=self.config.max_dxt_segments_per_record)
+        ref.position = offset + nbytes
+
+    # -- wrapper construction ---------------------------------------------------------
+    def make_wrappers(self, real: Dict[str, Callable[..., Generator]]
+                      ) -> Dict[str, Callable[..., Generator]]:
+        """Build instrumented wrappers around the real STDIO bindings."""
+        wrappers: Dict[str, Callable[..., Generator]] = {}
+
+        def wrap_fopen(path, mode="r"):
+            known = self.core.register_name(path) in self.records
+            start = self.env.now
+            stream = yield from real["fopen"](path, mode)
+            end = self.env.now
+            record = self._get_record(path)
+            if record is not None:
+                record.inc("STDIO_OPENS")
+                record.fset_first("STDIO_F_OPEN_START_TIMESTAMP", start)
+                record.fset_max("STDIO_F_OPEN_END_TIMESTAMP", end)
+                record.fadd("STDIO_F_META_TIME", end - start)
+                position = getattr(stream, "position", 0)
+                self._stream_refs[stream.stream_id] = _StreamRef(
+                    record_id=record.record_id, path=path, position=position)
+            yield from self._overhead(new_record=not known)
+            return stream
+
+        def wrap_fclose(stream):
+            ref = self._stream_refs.pop(getattr(stream, "stream_id", stream), None)
+            start = self.env.now
+            result = yield from real["fclose"](stream)
+            end = self.env.now
+            if ref is not None:
+                record = self.records.get(ref.record_id)
+                if record is not None:
+                    record.fset_first("STDIO_F_CLOSE_START_TIMESTAMP", start)
+                    record.fset_max("STDIO_F_CLOSE_END_TIMESTAMP", end)
+                    record.fadd("STDIO_F_META_TIME", end - start)
+            else:
+                self.untracked_ops += 1
+            yield from self._overhead()
+            return result
+
+        def wrap_fread(stream, nbytes):
+            ref = self._ref_for(stream)
+            start = self.env.now
+            data = yield from real["fread"](stream, nbytes)
+            end = self.env.now
+            if ref is not None:
+                self._track_transfer(ref, False, data.nbytes, start, end)
+            else:
+                self.untracked_ops += 1
+            yield from self._overhead()
+            return data
+
+        def wrap_fwrite(stream, data):
+            ref = self._ref_for(stream)
+            start = self.env.now
+            written = yield from real["fwrite"](stream, data)
+            end = self.env.now
+            if ref is not None:
+                self._track_transfer(ref, True, written, start, end)
+            else:
+                self.untracked_ops += 1
+            yield from self._overhead()
+            return written
+
+        def wrap_fseek(stream, offset, whence=0):
+            ref = self._ref_for(stream)
+            start = self.env.now
+            result = yield from real["fseek"](stream, offset, whence)
+            end = self.env.now
+            if ref is not None:
+                record = self.records.get(ref.record_id)
+                if record is not None:
+                    record.inc("STDIO_SEEKS")
+                    record.fadd("STDIO_F_META_TIME", end - start)
+                ref.position = getattr(stream, "position", ref.position)
+            else:
+                self.untracked_ops += 1
+            yield from self._overhead()
+            return result
+
+        def wrap_ftell(stream):
+            result = yield from real["ftell"](stream)
+            yield from self._overhead()
+            return result
+
+        def wrap_fflush(stream):
+            ref = self._ref_for(stream)
+            start = self.env.now
+            result = yield from real["fflush"](stream)
+            end = self.env.now
+            if ref is not None:
+                record = self.records.get(ref.record_id)
+                if record is not None:
+                    record.inc("STDIO_FLUSHES")
+                    record.fadd("STDIO_F_META_TIME", end - start)
+            yield from self._overhead()
+            return result
+
+        available = {
+            "fopen": wrap_fopen,
+            "fclose": wrap_fclose,
+            "fread": wrap_fread,
+            "fwrite": wrap_fwrite,
+            "fseek": wrap_fseek,
+            "ftell": wrap_ftell,
+            "fflush": wrap_fflush,
+        }
+        for name, wrapper in available.items():
+            if name in real:
+                wrappers[name] = wrapper
+        return wrappers
+
+    # -- summary helpers -----------------------------------------------------------------
+    def total_counter(self, name: str) -> int:
+        """Sum of one counter across all records."""
+        return sum(rec.counters.get(name, 0) for rec in self.records.values())
+
+    def file_count(self) -> int:
+        """Number of file records currently tracked."""
+        return len(self.records)

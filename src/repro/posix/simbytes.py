@@ -1,0 +1,85 @@
+"""Lightweight representation of file data.
+
+Simulated datasets are far larger than host memory (the malware corpus is
+48 GB), so file contents are usually *synthetic*: a :class:`SimBytes` knows
+its length and, optionally, carries real bytes when a test or a small
+configuration file needs byte-exact round trips.  All I/O paths and the
+Darshan counters operate on lengths, which is what the paper's statistics
+are built from.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+BytesLike = Union[bytes, bytearray, "SimBytes", int]
+
+
+class SimBytes:
+    """A block of ``nbytes`` of data, optionally with real content."""
+
+    __slots__ = ("nbytes", "content")
+
+    def __init__(self, nbytes: int, content: Optional[bytes] = None):
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if content is not None and len(content) != nbytes:
+            raise ValueError("content length does not match nbytes")
+        self.nbytes = int(nbytes)
+        self.content = bytes(content) if content is not None else None
+
+    # -- factories -------------------------------------------------------
+    @classmethod
+    def coerce(cls, data: BytesLike) -> "SimBytes":
+        """Turn bytes/bytearray/int/SimBytes into a :class:`SimBytes`."""
+        if isinstance(data, SimBytes):
+            return data
+        if isinstance(data, (bytes, bytearray)):
+            return cls(len(data), bytes(data))
+        if isinstance(data, int):
+            return cls(data)
+        raise TypeError(f"cannot interpret {type(data).__name__} as file data")
+
+    # -- behaviour -------------------------------------------------------
+    def __len__(self) -> int:
+        return self.nbytes
+
+    def __bool__(self) -> bool:
+        return self.nbytes > 0
+
+    @property
+    def is_synthetic(self) -> bool:
+        """``True`` if the object only tracks a length, not real bytes."""
+        return self.content is None
+
+    def slice(self, start: int, stop: int) -> "SimBytes":
+        """A sub-range of the data (clamped to the available length)."""
+        start = max(0, min(start, self.nbytes))
+        stop = max(start, min(stop, self.nbytes))
+        if self.content is not None:
+            return SimBytes(stop - start, self.content[start:stop])
+        return SimBytes(stop - start)
+
+    def to_bytes(self, fill: bytes = b"\0") -> bytes:
+        """Materialize real bytes (synthetic data is zero filled)."""
+        if self.content is not None:
+            return self.content
+        return fill * self.nbytes
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SimBytes):
+            if self.content is not None and other.content is not None:
+                return self.content == other.content
+            return self.nbytes == other.nbytes
+        if isinstance(other, (bytes, bytearray)):
+            if self.content is not None:
+                return self.content == bytes(other)
+            return self.nbytes == len(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - rarely used
+        return hash((self.nbytes, self.content))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "synthetic" if self.is_synthetic else "real"
+        return f"<SimBytes {self.nbytes} bytes ({kind})>"

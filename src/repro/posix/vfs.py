@@ -1,0 +1,248 @@
+"""Virtual filesystem: the namespace the simulated process sees.
+
+The VFS owns the path → inode mapping, the OS page cache and the mount
+table that routes file data to storage backends.  Creating dataset files is
+a metadata-only registration (the datasets "already exist on disk" when an
+experiment starts), while all reads and writes issued through the syscall
+layer cost simulated time on the backing devices.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.sim import Environment
+from repro.storage import MountTable, PageCache, StorageBackend
+from repro.posix.errors import Errno, SimOSError
+from repro.posix.simbytes import SimBytes
+
+#: Real file content larger than this is dropped and tracked as synthetic.
+MAX_REAL_CONTENT = 16 << 20
+
+
+def normalize_path(path: str) -> str:
+    """Normalize an absolute POSIX path."""
+    if not path or not path.startswith("/"):
+        raise SimOSError(Errno.EINVAL, "path must be absolute", path)
+    norm = posixpath.normpath(path)
+    return norm
+
+
+@dataclass
+class Inode:
+    """One file or directory."""
+
+    ino: int
+    path: str
+    is_dir: bool = False
+    size: int = 0
+    content: Optional[bytes] = None
+    ctime: float = 0.0
+    mtime: float = 0.0
+    atime: float = 0.0
+    nlink: int = 1
+
+    @property
+    def key(self) -> int:
+        """Stable identifier used for device locality and cache keys."""
+        return self.ino
+
+
+@dataclass
+class StatResult:
+    """Result of ``stat()`` / ``fstat()``."""
+
+    st_ino: int
+    st_size: int
+    st_mtime: float
+    st_atime: float
+    st_ctime: float
+    is_dir: bool = False
+
+    @property
+    def st_mode(self) -> int:
+        return 0o040755 if self.is_dir else 0o100644
+
+
+class VirtualFileSystem:
+    """Path namespace, page cache and backend routing."""
+
+    def __init__(
+        self,
+        env: Environment,
+        mount_table: Optional[MountTable] = None,
+        page_cache: Optional[PageCache] = None,
+        enable_page_cache: bool = True,
+    ):
+        self.env = env
+        self.mount_table = mount_table if mount_table is not None else MountTable()
+        self.page_cache = page_cache if page_cache is not None else PageCache()
+        self.enable_page_cache = enable_page_cache
+        self._inodes: Dict[str, Inode] = {}
+        self._ino_counter = count(start=2)
+        root = Inode(ino=1, path="/", is_dir=True)
+        self._inodes["/"] = root
+
+    # -- namespace management -------------------------------------------------
+    def mount(self, mount_point: str, backend: StorageBackend) -> None:
+        """Mount a storage backend and make sure the directory exists."""
+        self.mount_table.mount(mount_point, backend)
+        self._ensure_dirs(normalize_path(mount_point))
+
+    def _ensure_dirs(self, path: str) -> None:
+        parts = [p for p in path.split("/") if p]
+        current = ""
+        for part in parts:
+            current += "/" + part
+            if current not in self._inodes:
+                self._inodes[current] = Inode(
+                    ino=next(self._ino_counter), path=current, is_dir=True,
+                    ctime=self.env.now, mtime=self.env.now, atime=self.env.now)
+            elif not self._inodes[current].is_dir:
+                raise SimOSError(Errno.ENOTDIR, "path component is a file", current)
+
+    def mkdir(self, path: str) -> Inode:
+        """Create a directory (and its parents)."""
+        path = normalize_path(path)
+        if path in self._inodes and not self._inodes[path].is_dir:
+            raise SimOSError(Errno.EEXIST, "file exists", path)
+        self._ensure_dirs(path)
+        return self._inodes[path]
+
+    def create_file(self, path: str, size: int = 0,
+                    content: Optional[bytes] = None) -> Inode:
+        """Register a file in the namespace (no simulated time is charged).
+
+        Use this to lay out synthetic datasets before an experiment.  Files
+        created *during* a run (checkpoints, logs) should go through the
+        syscall layer's ``open`` with ``O_CREAT`` instead so the metadata
+        cost is accounted.
+        """
+        path = normalize_path(path)
+        if path in self._inodes:
+            raise SimOSError(Errno.EEXIST, "file exists", path)
+        if content is not None:
+            size = len(content)
+            if size > MAX_REAL_CONTENT:
+                content = None
+        self._ensure_dirs(posixpath.dirname(path))
+        inode = Inode(
+            ino=next(self._ino_counter), path=path, is_dir=False, size=int(size),
+            content=content, ctime=self.env.now, mtime=self.env.now,
+            atime=self.env.now)
+        self._inodes[path] = inode
+        return inode
+
+    def remove(self, path: str) -> None:
+        """Unlink a file from the namespace."""
+        path = normalize_path(path)
+        inode = self.lookup(path)
+        if inode.is_dir:
+            raise SimOSError(Errno.EISDIR, "is a directory", path)
+        del self._inodes[path]
+        self.page_cache.invalidate(inode.key)
+        self.mount_table.clear_placement(path)
+
+    # -- lookup -----------------------------------------------------------------
+    def exists(self, path: str) -> bool:
+        try:
+            return normalize_path(path) in self._inodes
+        except SimOSError:
+            return False
+
+    def lookup(self, path: str) -> Inode:
+        """Return the inode for ``path`` or raise ENOENT."""
+        path = normalize_path(path)
+        inode = self._inodes.get(path)
+        if inode is None:
+            raise SimOSError(Errno.ENOENT, "no such file or directory", path)
+        return inode
+
+    def listdir(self, path: str) -> List[str]:
+        """Names of entries directly below ``path``."""
+        path = normalize_path(path)
+        directory = self.lookup(path)
+        if not directory.is_dir:
+            raise SimOSError(Errno.ENOTDIR, "not a directory", path)
+        prefix = path if path.endswith("/") else path + "/"
+        names = set()
+        for other in self._inodes:
+            if other == path or not other.startswith(prefix):
+                continue
+            remainder = other[len(prefix):]
+            names.add(remainder.split("/", 1)[0])
+        return sorted(names)
+
+    def files_under(self, prefix: str) -> List[Inode]:
+        """All regular files whose path starts with ``prefix``."""
+        prefix = normalize_path(prefix)
+        prefix_slash = prefix if prefix.endswith("/") else prefix + "/"
+        out = []
+        for path, inode in self._inodes.items():
+            if inode.is_dir:
+                continue
+            if path == prefix or path.startswith(prefix_slash):
+                out.append(inode)
+        return sorted(out, key=lambda i: i.path)
+
+    def iter_files(self) -> Iterator[Inode]:
+        """All regular files in the namespace."""
+        for inode in self._inodes.values():
+            if not inode.is_dir:
+                yield inode
+
+    def total_bytes_under(self, prefix: str) -> int:
+        """Total size of all files under a prefix."""
+        return sum(inode.size for inode in self.files_under(prefix))
+
+    # -- backends ---------------------------------------------------------------
+    def backend_for(self, path: str) -> StorageBackend:
+        """Storage backend currently holding the file at ``path``."""
+        return self.mount_table.resolve(normalize_path(path))
+
+    def set_placement(self, path: str, backend: StorageBackend) -> None:
+        """Override which backend holds a file (staging)."""
+        self.mount_table.set_placement(normalize_path(path), backend)
+
+    def devices(self):
+        """All devices below all mounted backends (for dstat)."""
+        return self.mount_table.devices()
+
+    # -- cache control ------------------------------------------------------------
+    def drop_caches(self) -> None:
+        """Drop the page cache and all backend metadata caches.
+
+        The equivalent of ``sync; echo 3 > /proc/sys/vm/drop_caches`` which
+        the paper runs before every Greendog experiment.
+        """
+        self.page_cache.drop()
+        for backend in self.mount_table.backends():
+            backend.drop_caches()
+
+    # -- content helpers -----------------------------------------------------------
+    def read_span(self, inode: Inode, offset: int, nbytes: int) -> SimBytes:
+        """Data of [offset, offset+nbytes) of a file (bounded by its size)."""
+        nbytes = max(0, min(nbytes, inode.size - offset))
+        if nbytes <= 0:
+            return SimBytes(0)
+        if inode.content is not None:
+            return SimBytes(nbytes, inode.content[offset:offset + nbytes])
+        return SimBytes(nbytes)
+
+    def write_span(self, inode: Inode, offset: int, data: SimBytes) -> int:
+        """Apply a write to the inode (size growth and optional content)."""
+        end = offset + data.nbytes
+        if data.content is not None and end <= MAX_REAL_CONTENT:
+            existing = bytearray(inode.content or b"")
+            if len(existing) < end:
+                existing.extend(b"\0" * (end - len(existing)))
+            existing[offset:end] = data.content
+            inode.content = bytes(existing)
+        elif data.nbytes > 0 and inode.content is not None and end > MAX_REAL_CONTENT:
+            inode.content = None
+        inode.size = max(inode.size, end)
+        inode.mtime = self.env.now
+        return data.nbytes

@@ -1,0 +1,146 @@
+"""The simulation :class:`Environment`: event queue and virtual clock."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Iterable, Optional, Union
+
+from repro.sim.errors import EmptySchedule, SimulationError, StopSimulation
+from repro.sim.events import (
+    NORMAL,
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    Timeout,
+)
+
+
+class Environment:
+    """Execution environment of a simulation.
+
+    The environment owns the virtual clock (:attr:`now`, in **seconds**) and
+    the event queue.  All simulated components — storage devices, POSIX
+    syscalls, the tf.data pipeline, the profiler — share one environment so
+    their timestamps are mutually consistent, exactly like wall-clock
+    timestamps shared between Darshan and the TensorFlow runtime in the
+    paper.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (``None`` between steps)."""
+        return self._active_process
+
+    # -- event creation ----------------------------------------------------
+    def event(self) -> Event:
+        """Create a new, untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process from ``generator`` and return it."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Schedule ``event`` to be processed after ``delay`` seconds."""
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` if the queue is empty)."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises :class:`EmptySchedule` if no events are queued, and re-raises
+        the exception of any failed event that nobody waited on (mirroring
+        SimPy's behaviour so programming errors inside processes surface).
+        """
+        if not self._queue:
+            raise EmptySchedule("no scheduled events")
+        self._now, _, _, event = heapq.heappop(self._queue)
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event.defused:
+            exc = event._value
+            raise exc
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the event queue drains), a
+        number (run until that simulated time), or an :class:`Event` (run
+        until the event fires, returning its value).
+        """
+        target_event: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                target_event = until
+                if target_event.callbacks is None:
+                    # Already processed.
+                    return target_event.value
+                target_event.callbacks.append(self._stop_on)
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(
+                        f"until ({at}) must not be before the current time ({self._now})"
+                    )
+                stop = Event(self)
+                stop._ok = True
+                stop._value = None
+                stop.callbacks.append(self._stop_on)
+                self.schedule(stop, delay=at - self._now)
+
+        try:
+            while self._queue:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        except EmptySchedule:  # pragma: no cover - defensive
+            pass
+
+        if target_event is not None and not target_event.triggered:
+            raise SimulationError(
+                "the event queue drained before the target event was triggered"
+            )
+        return None
+
+    @staticmethod
+    def _stop_on(event: Event) -> None:
+        if event._ok:
+            raise StopSimulation(event._value)
+        # Propagate failures of the target event to the caller of run().
+        event.defused = True
+        raise event._value

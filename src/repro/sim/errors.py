@@ -1,0 +1,36 @@
+"""Exception types raised by the simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all errors raised by :mod:`repro.sim`."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop :meth:`Environment.run` at a target event.
+
+    The exception carries the value of the event that terminated the run so
+    that ``Environment.run(until=event)`` can return it.
+    """
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.value = value
+
+
+class EmptySchedule(SimulationError):
+    """Raised when :meth:`Environment.step` is called with no queued events."""
+
+
+class Interrupt(Exception):
+    """Delivered into a process generator when another process interrupts it.
+
+    The ``cause`` attribute carries an arbitrary object describing why the
+    interrupt happened (for example the profiler asking an I/O worker to
+    wind down).
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause

@@ -1,0 +1,279 @@
+"""Core event types of the discrete-event simulation kernel.
+
+The kernel follows the classic process-interaction style popularised by
+SimPy: simulation *processes* are Python generators that ``yield`` events;
+the :class:`~repro.sim.environment.Environment` resumes a process when the
+event it is waiting on fires.  Only the features needed by the tf-Darshan
+reproduction are implemented, but they are implemented completely: event
+success/failure, timeouts, process completion values, interrupts, and
+``AllOf`` / ``AnyOf`` condition events.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.sim.errors import Interrupt, SimulationError
+
+#: Sentinel used for the value of an event that has not been triggered yet.
+PENDING = object()
+
+#: Priority of internally generated "initialize process" events.
+URGENT = 0
+#: Priority of normal events.
+NORMAL = 1
+
+
+class Event:
+    """An event that may happen at some point in simulated time.
+
+    An event starts *pending*; it becomes *triggered* when it has been
+    scheduled with a value (or an exception), and *processed* once its
+    callbacks have run.  Processes wait for events by yielding them.
+    """
+
+    def __init__(self, env: "Environment"):  # noqa: F821 - forward ref
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        #: Set by the environment when a failed event's exception was
+        #: delivered to at least one waiter (so ``run`` does not re-raise).
+        self.defused = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """``True`` once the event has been scheduled with a value."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """``True`` once the callbacks of the event have been invoked."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """``True`` if the event succeeded.  Only valid once triggered."""
+        if not self.triggered:
+            raise SimulationError("event has not been triggered yet")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The value the event was triggered with.
+
+        For failed events this is the exception instance.
+        """
+        if self._value is PENDING:
+            raise SimulationError("value of untriggered event is not available")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() expects an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another (used by conditions)."""
+        if self.triggered:
+            return
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    # -- chaining ------------------------------------------------------
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after ``delay`` units of simulated time."""
+
+    def __init__(self, env, delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    def __init__(self, env, process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """A simulation process wrapping a Python generator.
+
+    The process itself is an event that fires when the generator terminates;
+    its value is the generator's return value.  Processes can be interrupted
+    with :meth:`interrupt`, which raises :class:`~repro.sim.errors.Interrupt`
+    inside the generator.
+    """
+
+    def __init__(self, env, generator: Generator):
+        if not hasattr(generator, "throw"):
+            raise TypeError("Process() requires a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = Initialize(env, self)
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting for (``None`` if done)."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` while the wrapped generator has not terminated."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Interrupt the process by raising :class:`Interrupt` inside it."""
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a terminated process")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event.defused = True
+        # Jump the queue: deliver before any other pending callback resumes
+        # the process, and detach from the original target.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        event.callbacks = [self._resume]
+        self.env.schedule(event, priority=URGENT)
+
+    # -- generator stepping ---------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The exception was delivered; mark it as handled.
+                    event.defused = True
+                    exc = event._value
+                    next_event = self._generator.throw(exc)
+            except StopIteration as stop:
+                self._target = None
+                self.env._active_process = None
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self._target = None
+                self.env._active_process = None
+                self.fail(exc)
+                return
+
+            if not isinstance(next_event, Event):
+                self._target = None
+                self.env._active_process = None
+                self.fail(SimulationError(
+                    f"process yielded a non-event: {next_event!r}"))
+                return
+
+            if next_event.callbacks is not None:
+                # Event not yet processed: wait for it.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Event already processed: feed its value back in immediately.
+            event = next_event
+
+        self.env._active_process = None
+
+
+class Condition(Event):
+    """Base class for events composed of several sub-events."""
+
+    def __init__(self, env, events: Iterable[Event]):
+        super().__init__(env)
+        self.events: List[Event] = list(events)
+        self._completed = 0
+        self._fired: List[Event] = []
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+        for event in self.events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _evaluate(self) -> bool:
+        raise NotImplementedError
+
+    def _collect_values(self) -> dict:
+        return {
+            event: event._value
+            for event in self.events
+            if event in self._fired and event._ok
+        }
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self._fired.append(event)
+        self._completed += 1
+        if self._evaluate():
+            self.succeed(self._collect_values())
+
+
+class AllOf(Condition):
+    """Condition that fires once *all* sub-events have fired."""
+
+    def _evaluate(self) -> bool:
+        return self._completed >= len(self.events)
+
+
+class AnyOf(Condition):
+    """Condition that fires once *any* sub-event has fired."""
+
+    def _evaluate(self) -> bool:
+        return self._completed >= 1

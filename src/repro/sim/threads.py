@@ -1,0 +1,131 @@
+"""Simulated worker thread pools.
+
+The tf.data runtime executes the user's map function on a private thread
+pool whose size is ``num_parallel_calls``.  :class:`WorkerPool` reproduces
+that structure inside the simulation: tasks are generator factories, each
+worker runs one task at a time, and the pool can be drained and shut down.
+CPU contention between workers is modelled separately by
+:class:`repro.sim.bandwidth.CPUPool`, which the tasks themselves use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.sim.environment import Environment
+from repro.sim.events import Event
+from repro.sim.resources import Store
+
+#: Sentinel job used to ask a worker to exit.
+_SHUTDOWN = object()
+
+
+@dataclass
+class Job:
+    """A unit of work submitted to a :class:`WorkerPool`."""
+
+    factory: Callable[[], Generator]
+    done: Event
+    tag: Any = None
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    worker: Optional[int] = None
+
+    @property
+    def queue_delay(self) -> float:
+        """Time the job spent waiting for a free worker."""
+        if self.started_at is None:
+            return 0.0
+        return self.started_at - self.submitted_at
+
+
+class WorkerPool:
+    """A fixed-size pool of simulated worker threads.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    workers:
+        Number of worker threads.
+    name:
+        Label used for debugging and trace annotation.
+    """
+
+    def __init__(self, env: Environment, workers: int, name: str = "pool"):
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self.env = env
+        self.workers = int(workers)
+        self.name = name
+        self._queue: Store = Store(env)
+        self._worker_procs = [
+            env.process(self._worker_loop(i)) for i in range(self.workers)
+        ]
+        self._closed = False
+        self.completed_jobs: int = 0
+        self.jobs: List[Job] = []
+
+    # -- public API ------------------------------------------------------
+    def submit(self, factory: Callable[[], Generator], tag: Any = None) -> Job:
+        """Submit a task; returns the :class:`Job` whose ``done`` event fires
+        with the task's return value."""
+        if self._closed:
+            raise RuntimeError(f"WorkerPool {self.name!r} is closed")
+        job = Job(factory=factory, done=Event(self.env), tag=tag,
+                  submitted_at=self.env.now)
+        self.jobs.append(job)
+        self._queue.put(job)
+        return job
+
+    def close(self) -> Event:
+        """Stop accepting work and shut workers down after the queue drains.
+
+        Returns an event that fires when every worker has exited.
+        """
+        if not self._closed:
+            self._closed = True
+            for _ in range(self.workers):
+                self._queue.put(_SHUTDOWN)
+        return self.env.all_of(self._worker_procs)
+
+    @property
+    def pending(self) -> int:
+        """Jobs waiting in the queue (not yet picked up by a worker)."""
+        return sum(1 for item in self._queue.items if item is not _SHUTDOWN)
+
+    def interrupt_workers(self, cause: object = "pool-cancelled") -> None:
+        """Interrupt every live worker (used when a pipeline is cancelled)."""
+        self._closed = True
+        for proc in self._worker_procs:
+            if proc.is_alive:
+                proc.interrupt(cause)
+
+    # -- worker loop -------------------------------------------------------
+    def _worker_loop(self, index: int) -> Generator:
+        from repro.sim.errors import Interrupt
+
+        while True:
+            try:
+                job = yield self._queue.get()
+            except Interrupt:
+                return
+            if job is _SHUTDOWN:
+                return
+            job.worker = index
+            job.started_at = self.env.now
+            try:
+                result = yield self.env.process(job.factory())
+            except Interrupt:
+                # The pool is being torn down; the in-flight task keeps
+                # running on its own but this worker exits.
+                return
+            except BaseException as exc:  # propagate failures to the waiter
+                job.finished_at = self.env.now
+                job.done.fail(exc)
+                continue
+            job.finished_at = self.env.now
+            self.completed_jobs += 1
+            job.done.succeed(result)

@@ -1,0 +1,101 @@
+"""Device presets modelled on the paper's two evaluation platforms.
+
+*Greendog* (workstation): two 2 TB HDDs, one 1 TB SATA SSD and one 480 GB
+Intel Optane SSD 900p on PCIe, all with ext4.  *Kebnekaise* (HPC cluster
+node): Lustre over EDR InfiniBand.  The numeric parameters are nominal
+datasheet/first-order values; DESIGN.md explains that only their relative
+ordering (latency and bandwidth ratios between tiers) matters for the
+reproduction's conclusions.
+"""
+
+from __future__ import annotations
+
+from repro.sim import Environment
+from repro.storage.backend import LocalFilesystem
+from repro.storage.device import RotationalDevice, StreamingDevice
+from repro.storage.lustre import LustreFilesystem
+
+#: 1 MiB/MB helpers used throughout the workloads.
+KIB = 1 << 10
+MIB = 1 << 20
+GIB = 1 << 30
+
+
+def hdd(env: Environment, name: str = "sda") -> RotationalDevice:
+    """A 7200 rpm SATA hard disk (the Greendog data disks)."""
+    return RotationalDevice(
+        env,
+        name=name,
+        bandwidth=165e6,
+        write_bandwidth=150e6,
+        seek_time=5.4e-3,
+        settle_time=0.25e-3,
+    )
+
+
+def sata_ssd(env: Environment, name: str = "sdb") -> StreamingDevice:
+    """A SATA SSD (the Greendog 1 TB SSD)."""
+    return StreamingDevice(
+        env,
+        name=name,
+        read_bandwidth=540e6,
+        write_bandwidth=480e6,
+        latency=90e-6,
+        per_stream_bandwidth=540e6,
+        queue_depth=32,
+    )
+
+
+def optane_ssd(env: Environment, name: str = "nvme0n1") -> StreamingDevice:
+    """An Intel Optane SSD 900p on PCIe (the Greendog fast tier)."""
+    return StreamingDevice(
+        env,
+        name=name,
+        read_bandwidth=2.5e9,
+        write_bandwidth=2.0e9,
+        latency=10e-6,
+        per_stream_bandwidth=2.2e9,
+        queue_depth=128,
+    )
+
+
+def dram(env: Environment, name: str = "dram") -> StreamingDevice:
+    """Main memory, used for page-cache hits."""
+    return StreamingDevice(
+        env,
+        name=name,
+        read_bandwidth=12e9,
+        write_bandwidth=12e9,
+        latency=0.5e-6,
+        per_stream_bandwidth=8e9,
+        queue_depth=256,
+    )
+
+
+def greendog_hdd_filesystem(env: Environment) -> LocalFilesystem:
+    """ext4 over a Greendog HDD (where the datasets live)."""
+    return LocalFilesystem(env, hdd(env), name="ext4(hdd)")
+
+
+def greendog_ssd_filesystem(env: Environment) -> LocalFilesystem:
+    """ext4 over the Greendog SATA SSD."""
+    return LocalFilesystem(env, sata_ssd(env), name="ext4(ssd)")
+
+
+def greendog_optane_filesystem(env: Environment) -> LocalFilesystem:
+    """ext4 over the Greendog Optane 900p (the staging target)."""
+    return LocalFilesystem(env, optane_ssd(env), name="ext4(optane)")
+
+
+def kebnekaise_lustre(env: Environment, n_osts: int = 8) -> LustreFilesystem:
+    """The Kebnekaise Lustre filesystem seen from one compute node."""
+    return LustreFilesystem(
+        env,
+        n_osts=n_osts,
+        name="lustre",
+        mds_latency=3.2e-3,
+        mds_concurrency=1,
+        stripe_size=1 * MIB,
+        stripe_count=1,
+        network_bandwidth=12.0e9,
+    )

@@ -1,0 +1,11 @@
+"""tf.data-like input pipelines."""
+
+from repro.tfmini.data.dataset import (
+    AUTOTUNE,
+    Batch,
+    Dataset,
+    DatasetIterator,
+    OutOfRangeError,
+)
+
+__all__ = ["AUTOTUNE", "Batch", "Dataset", "DatasetIterator", "OutOfRangeError"]

@@ -1,0 +1,30 @@
+"""Supporting tools: dstat monitor, STREAM benchmark, reporting helpers."""
+
+from repro.tools.dstat import DstatMonitor, DstatSeries
+from repro.tools.reporting import (
+    PaperComparison,
+    comparison_table,
+    format_table,
+    gib,
+    mbps,
+    mib,
+    percent,
+    within_factor,
+)
+from repro.tools.stream import StreamBenchmark, StreamResult, stream_map_fn
+
+__all__ = [
+    "DstatMonitor",
+    "DstatSeries",
+    "PaperComparison",
+    "StreamBenchmark",
+    "StreamResult",
+    "comparison_table",
+    "format_table",
+    "gib",
+    "mbps",
+    "mib",
+    "percent",
+    "stream_map_fn",
+    "within_factor",
+]

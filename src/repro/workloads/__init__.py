@@ -1,0 +1,45 @@
+"""Workloads: synthetic datasets, platform presets and experiment runners."""
+
+from repro.workloads.datasets import (
+    SyntheticDataset,
+    build_imagenet_dataset,
+    build_malware_dataset,
+    table2_rows,
+)
+from repro.workloads.pipelines import (
+    build_imagenet_pipeline,
+    build_malware_pipeline,
+    build_training_pipeline,
+    imagenet_map_fn,
+    malware_map_fn,
+)
+from repro.workloads.platforms import Platform, greendog, kebnekaise
+from repro.workloads.runner import (
+    TrainingRunResult,
+    run_checkpoint_case,
+    run_imagenet_case,
+    run_malware_case,
+    run_overhead_case,
+    run_stream_validation,
+)
+
+__all__ = [
+    "Platform",
+    "SyntheticDataset",
+    "TrainingRunResult",
+    "build_imagenet_dataset",
+    "build_imagenet_pipeline",
+    "build_malware_dataset",
+    "build_malware_pipeline",
+    "build_training_pipeline",
+    "greendog",
+    "imagenet_map_fn",
+    "kebnekaise",
+    "malware_map_fn",
+    "run_checkpoint_case",
+    "run_imagenet_case",
+    "run_malware_case",
+    "run_overhead_case",
+    "run_stream_validation",
+    "table2_rows",
+]

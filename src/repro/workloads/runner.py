@@ -1,0 +1,326 @@
+"""Experiment runners: the case studies and evaluation runs of the paper.
+
+Every function builds a fresh platform, lays out the synthetic dataset,
+honours the paper's measurement protocol (drop caches, single epoch, dstat
+in the background), runs the workload and returns a structured result that
+the benchmark harnesses and examples turn into the tables and figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim import Environment
+from repro.storage import StagingManager, StagingResult
+from repro.tfmini.keras import AlexNet, MalwareCNN, ModelCheckpoint, TensorBoard
+from repro.tools.dstat import DstatMonitor, DstatSeries
+from repro.tools.stream import StreamBenchmark, StreamResult
+from repro.core import StagingAdvisor, TfDarshanOptions, enable, last_profile
+from repro.core.analysis import IOProfile
+from repro.workloads.datasets import (
+    SyntheticDataset,
+    build_imagenet_dataset,
+    build_malware_dataset,
+)
+from repro.workloads.pipelines import (
+    build_imagenet_pipeline,
+    build_malware_pipeline,
+)
+from repro.workloads.platforms import Platform, greendog, kebnekaise
+
+MIB = 1 << 20
+
+
+@dataclass
+class TrainingRunResult:
+    """Outcome of one training run (one configuration of a case study)."""
+
+    case: str
+    platform: str
+    steps: int
+    batch_size: int
+    threads: int
+    fit_time: float
+    end_of_fit_time: float
+    bytes_read: int
+    io_profile: Optional[IOProfile]
+    dstat: DstatSeries
+    staging: Optional[StagingResult] = None
+    checkpoint_fwrites: int = 0
+    stdio_writes: int = 0
+    #: Fraction of step time spent waiting for input (TensorFlow analysis).
+    input_percent: float = 0.0
+    config: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ingestion_bandwidth(self) -> float:
+        """Bytes read from storage per second of training (epoch bandwidth)."""
+        return self.bytes_read / self.fit_time if self.fit_time > 0 else 0.0
+
+    @property
+    def posix_bandwidth(self) -> float:
+        """The bandwidth tf-Darshan reports for the profiled window."""
+        if self.io_profile is not None:
+            return self.io_profile.posix_read_bandwidth
+        return self.ingestion_bandwidth
+
+
+def _profiling_callbacks(runtime, profile: str, steps: int,
+                         logdir: Optional[str],
+                         tf_darshan_options: Optional[TfDarshanOptions]):
+    """Build the TensorBoard callback for the requested profiling mode."""
+    callbacks: List = []
+    if profile == "none":
+        return callbacks
+    if profile not in ("epoch", "tf-only"):
+        raise ValueError("profile must be 'none', 'epoch' or 'tf-only'")
+    if profile == "epoch":
+        enable(runtime, tf_darshan_options or TfDarshanOptions())
+    callbacks.append(TensorBoard(log_dir=logdir, profile_batch=(1, steps)))
+    return callbacks
+
+
+def _run_training(platform: Platform, case: str, dataset_paths: Sequence[str],
+                  model, pipeline, steps: int, batch_size: int, threads: int,
+                  profile: str, logdir: Optional[str],
+                  tf_darshan_options: Optional[TfDarshanOptions],
+                  checkpoint_every: Optional[int],
+                  staging: Optional[StagingResult],
+                  extra_config: Optional[dict] = None) -> TrainingRunResult:
+    runtime = platform.runtime
+    env = platform.env
+    callbacks = _profiling_callbacks(runtime, profile, steps, logdir,
+                                     tf_darshan_options)
+    checkpoint_callback = None
+    if checkpoint_every:
+        checkpoint_callback = ModelCheckpoint(
+            filepath=f"{platform.data_root}/checkpoints/ckpt-{{step}}",
+            save_freq=checkpoint_every)
+        callbacks.append(checkpoint_callback)
+
+    monitor = DstatMonitor(env, platform.devices())
+    platform.drop_caches()
+    monitor.start()
+    read_before = sum(d.metrics.bytes_read for d in platform.devices())
+    fit_start = env.now
+    fit_process = env.process(model.fit(runtime, pipeline, steps_per_epoch=steps,
+                                        callbacks=callbacks))
+    env.run(until=fit_process)
+    fit_end = env.now
+    monitor.stop()
+    read_after = sum(d.metrics.bytes_read for d in platform.devices())
+
+    checkpoint_fwrites = 0
+    if checkpoint_callback is not None:
+        checkpoint_fwrites = sum(info.fwrite_calls
+                                 for info in checkpoint_callback.saves)
+    stdio_writes = 0
+    attachment = getattr(runtime, "_tf_darshan_attachment", None)
+    if attachment is not None and attachment.stdio_module is not None:
+        stdio_writes = attachment.stdio_module.total_counter("STDIO_WRITES")
+    analysis = runtime.input_pipeline_analysis()
+
+    return TrainingRunResult(
+        case=case,
+        platform=platform.name,
+        steps=len(runtime.step_stats),
+        batch_size=batch_size,
+        threads=threads,
+        fit_time=fit_end - fit_start,
+        end_of_fit_time=fit_end,
+        bytes_read=int(read_after - read_before),
+        io_profile=last_profile(runtime),
+        dstat=monitor.series(),
+        staging=staging,
+        checkpoint_fwrites=checkpoint_fwrites,
+        stdio_writes=stdio_writes,
+        input_percent=analysis.input_percent,
+        config=dict(extra_config or {}),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Case study runners
+# ---------------------------------------------------------------------------
+
+def run_imagenet_case(
+    scale: float = 0.05,
+    steps: Optional[int] = None,
+    batch_size: int = 256,
+    threads: int = 1,
+    profile: str = "epoch",
+    logdir: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+    seed: Optional[int] = None,
+    tf_darshan_options: Optional[TfDarshanOptions] = None,
+    platform: Optional[Platform] = None,
+) -> TrainingRunResult:
+    """ImageNet classification on the Kebnekaise/Lustre platform (Sec. V-A)."""
+    platform = platform or kebnekaise()
+    dataset = build_imagenet_dataset(platform.os.vfs,
+                                     root=f"{platform.data_root}/imagenet",
+                                     scale=scale, seed=seed)
+    if steps is None:
+        steps = max(1, dataset.file_count // batch_size)
+    paths = dataset.paths[: steps * batch_size]
+    pipeline = build_imagenet_pipeline(paths, batch_size=batch_size,
+                                       num_parallel_calls=threads, prefetch=10)
+    model = AlexNet()
+    model.compile(optimizer="sgd", learning_rate=0.01, momentum=0.0)
+    return _run_training(
+        platform, "imagenet", paths, model, pipeline, steps, batch_size,
+        threads, profile, logdir, tf_darshan_options, checkpoint_every, None,
+        extra_config={"scale": scale, "dataset_files": dataset.file_count,
+                      "dataset_bytes": dataset.total_bytes})
+
+
+def run_malware_case(
+    scale: float = 0.2,
+    steps: Optional[int] = None,
+    batch_size: int = 32,
+    threads: int = 1,
+    profile: str = "epoch",
+    staging_threshold: Optional[int] = None,
+    logdir: Optional[str] = None,
+    seed: Optional[int] = None,
+    tf_darshan_options: Optional[TfDarshanOptions] = None,
+    platform: Optional[Platform] = None,
+) -> TrainingRunResult:
+    """Malware detection on the Greendog platform (Sec. V-B).
+
+    ``staging_threshold`` enables the Fig. 11b optimization: every dataset
+    file smaller than the threshold is staged onto the Optane tier before
+    training (the staging copy itself is simulated and excluded from the
+    training time, as in the paper where files were moved beforehand).
+    """
+    platform = platform or greendog()
+    dataset = build_malware_dataset(platform.os.vfs,
+                                    root=f"{platform.data_root}/malware",
+                                    scale=scale, seed=seed)
+    if steps is None:
+        steps = max(1, dataset.file_count // batch_size)
+    paths = dataset.paths[: steps * batch_size]
+
+    staging_result = None
+    if staging_threshold:
+        advisor = StagingAdvisor()
+        sizes = {path: size for path, size in zip(dataset.paths, dataset.sizes)}
+        recommendation = advisor.recommend(sizes, threshold_bytes=staging_threshold)
+        manager = StagingManager(platform.os.vfs.mount_table)
+        to_stage = [(path, platform.os.vfs.lookup(path).key,
+                     platform.os.vfs.lookup(path).size)
+                    for path in recommendation.files]
+        staging_proc = platform.env.process(
+            manager.stage(platform.env, to_stage, platform.fast_tier))
+        staging_result = platform.env.run(until=staging_proc)
+
+    pipeline = build_malware_pipeline(paths, batch_size=batch_size,
+                                      num_parallel_calls=threads, prefetch=10)
+    model = MalwareCNN()
+    model.compile(optimizer="sgd", learning_rate=0.01, momentum=0.0)
+    return _run_training(
+        platform, "malware", paths, model, pipeline, steps, batch_size,
+        threads, profile, logdir, tf_darshan_options, None, staging_result,
+        extra_config={"scale": scale, "dataset_files": dataset.file_count,
+                      "dataset_bytes": dataset.total_bytes,
+                      "staging_threshold": staging_threshold})
+
+
+# ---------------------------------------------------------------------------
+# STREAM validation and overhead runs
+# ---------------------------------------------------------------------------
+
+def run_stream_validation(
+    case: str = "imagenet",
+    steps: int = 100,
+    batch_size: int = 128,
+    threads: int = 16,
+    prefetch: int = 10,
+    profile_every_steps: int = 5,
+    profiler: str = "tfdarshan",
+    scale: float = 0.1,
+    seed: Optional[int] = None,
+) -> StreamResult:
+    """The STREAM tool-validation runs of Fig. 3 / Fig. 4 (on Greendog)."""
+    platform = greendog()
+    if case == "imagenet":
+        dataset = build_imagenet_dataset(platform.os.vfs,
+                                         root="/data/imagenet", scale=scale,
+                                         seed=seed)
+    elif case == "malware":
+        dataset = build_malware_dataset(platform.os.vfs,
+                                        root="/data/malware", scale=scale,
+                                        seed=seed)
+    else:
+        raise ValueError("case must be 'imagenet' or 'malware'")
+    needed = steps * batch_size
+    paths = dataset.paths
+    if len(paths) < needed:
+        # Reuse paths round-robin if the scaled dataset is smaller than the
+        # requested number of samples (page cache is dropped only once, so
+        # repeated files hit DRAM — avoided by default scales in benches).
+        paths = [paths[i % len(paths)] for i in range(needed)]
+    platform.drop_caches()
+    bench = StreamBenchmark(platform.runtime, paths, batch_size=batch_size,
+                            num_parallel_calls=threads, prefetch=prefetch,
+                            profile_every_steps=profile_every_steps,
+                            profiler=profiler)
+    proc = platform.env.process(bench.run(steps))
+    result = platform.env.run(until=proc)
+    return result
+
+
+def run_overhead_case(
+    case: str,
+    profiler: str,
+    steps: int = 10,
+    batch_size: int = 128,
+    scale: float = 0.02,
+    logdir: Optional[str] = None,
+    seed: Optional[int] = None,
+) -> float:
+    """One bar of Fig. 5: elapsed time of a short run under a profiler mode.
+
+    ``case`` is one of ``imagenet``, ``malware``, ``stream_imagenet``,
+    ``stream_malware``; ``profiler`` is ``none``, ``tf`` or ``tfdarshan``.
+    Returns the elapsed simulated time (model fitting / streaming only).
+    """
+    if profiler not in ("none", "tf", "tfdarshan"):
+        raise ValueError("profiler must be 'none', 'tf' or 'tfdarshan'")
+
+    if case in ("imagenet", "malware"):
+        profile = {"none": "none", "tf": "tf-only", "tfdarshan": "epoch"}[profiler]
+        options = TfDarshanOptions(export_mode="full") if profiler == "tfdarshan" else None
+        if case == "imagenet":
+            result = run_imagenet_case(scale=scale, steps=steps,
+                                       batch_size=batch_size, threads=2,
+                                       profile=profile, logdir=logdir,
+                                       seed=seed, tf_darshan_options=options)
+        else:
+            result = run_malware_case(scale=max(scale, 0.12), steps=steps,
+                                      batch_size=batch_size, threads=1,
+                                      profile=profile, logdir=logdir,
+                                      seed=seed, tf_darshan_options=options)
+        return result.fit_time
+
+    stream_case = case.replace("stream_", "")
+    stream_profiler = {"none": "none", "tf": "tf", "tfdarshan": "tfdarshan"}[profiler]
+    result = run_stream_validation(case=stream_case, steps=steps,
+                                   batch_size=batch_size, threads=16,
+                                   profiler=stream_profiler,
+                                   scale=max(scale, 0.05), seed=seed)
+    return result.elapsed
+
+
+def run_checkpoint_case(
+    steps: int = 10,
+    batch_size: int = 64,
+    scale: float = 0.01,
+    checkpoint_every: int = 1,
+    seed: Optional[int] = None,
+) -> TrainingRunResult:
+    """The checkpointing illustration of Fig. 6 (STDIO activity)."""
+    return run_imagenet_case(scale=scale, steps=steps, batch_size=batch_size,
+                             threads=2, profile="epoch",
+                             checkpoint_every=checkpoint_every, seed=seed)

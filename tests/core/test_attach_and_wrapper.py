@@ -1,0 +1,136 @@
+"""Tests for the runtime attachment and the snapshot middle man."""
+
+import pytest
+
+from repro.core import (
+    DarshanMiddleman,
+    TfDarshanOptions,
+    get_attachment,
+)
+from repro.tfmini import io_ops
+from tests.core.conftest import make_files, run
+
+
+def test_attach_patches_io_symbols(runtime, os_image, env):
+    attachment = get_attachment(runtime)
+    assert not attachment.attached
+    run(env, attachment.attach())
+    assert attachment.attached
+    patched = os_image.symbols.patched_symbols()
+    for symbol in ("open", "pread", "read", "close", "fwrite", "fopen"):
+        assert symbol in patched
+
+
+def test_attach_is_idempotent(runtime, env):
+    attachment = get_attachment(runtime)
+    run(env, attachment.attach())
+    first_patch_count = len(attachment.patched_symbols)
+    run(env, attachment.attach())
+    assert len(attachment.patched_symbols) == first_patch_count
+    assert attachment.reattach_requests == 1
+
+
+def test_attach_costs_time(runtime, env):
+    attachment = get_attachment(runtime)
+    before = env.now
+    run(env, attachment.attach())
+    assert env.now > before
+
+
+def test_detach_restores_symbols(runtime, os_image, env):
+    attachment = get_attachment(runtime)
+    run(env, attachment.attach())
+    run(env, attachment.detach())
+    assert os_image.symbols.patched_symbols() == []
+    assert not attachment.attached
+
+
+def test_attachment_is_per_runtime_singleton(runtime):
+    assert get_attachment(runtime) is get_attachment(runtime)
+
+
+def test_symbol_selection_respected(runtime, os_image, env):
+    options = TfDarshanOptions(symbols=("open", "pread", "close"))
+    attachment = get_attachment(runtime, options)
+    run(env, attachment.attach())
+    patched = os_image.symbols.patched_symbols()
+    assert set(patched) == {"open", "pread", "close"}
+
+
+def test_io_before_attachment_not_counted(runtime, os_image, env):
+    """Runtime attachment means earlier I/O is invisible to Darshan."""
+    paths = make_files(os_image, 4, 10_000)
+
+    def proc():
+        yield from io_ops.read_file(runtime, paths[0])
+        attachment = get_attachment(runtime)
+        yield from attachment.attach()
+        for path in paths[1:]:
+            yield from io_ops.read_file(runtime, path)
+        return attachment
+
+    attachment = run(env, proc())
+    assert attachment.posix_module.file_count() == 3
+
+
+def test_snapshot_diff_isolates_profiling_window(runtime, os_image, env):
+    paths = make_files(os_image, 6, 100_000)
+
+    def proc():
+        attachment = get_attachment(runtime)
+        yield from attachment.attach()
+        middleman = DarshanMiddleman(attachment)
+        # Pre-window I/O.
+        for path in paths[:2]:
+            yield from io_ops.read_file(runtime, path)
+        start = yield from middleman.take_snapshot()
+        for path in paths[2:5]:
+            yield from io_ops.read_file(runtime, path)
+        end = yield from middleman.take_snapshot()
+        # Post-window I/O must not be visible either.
+        yield from io_ops.read_file(runtime, paths[5])
+        return middleman.diff(start, end)
+
+    delta = run(env, proc())
+    assert delta.total("POSIX", "POSIX_OPENS") == 3
+    assert delta.total("POSIX", "POSIX_BYTES_READ") == 300_000
+    # Two reads per file (data + zero-length).
+    assert delta.total("POSIX", "POSIX_READS") == 6
+    assert len(delta.dxt_posix) == 3
+    assert delta.duration > 0
+
+
+def test_snapshot_copies_are_isolated_from_live_records(runtime, os_image, env):
+    paths = make_files(os_image, 2, 50_000)
+
+    def proc():
+        attachment = get_attachment(runtime)
+        yield from attachment.attach()
+        middleman = DarshanMiddleman(attachment)
+        for path in paths:
+            yield from io_ops.read_file(runtime, path)
+        snap = yield from middleman.take_snapshot()
+        # More I/O after the snapshot must not change the snapshot.
+        yield from io_ops.read_file(runtime, paths[0])
+        return snap, attachment
+
+    snap, attachment = run(env, proc())
+    live_total = attachment.posix_module.total_counter("POSIX_READS")
+    snap_total = sum(r.counters["POSIX_READS"] for r in snap.posix.values())
+    assert live_total == snap_total + 2  # one extra data read + zero read
+
+
+def test_runtime_info_exposed_through_middleman(runtime, os_image, env):
+    paths = make_files(os_image, 3, 10_000)
+
+    def proc():
+        attachment = get_attachment(runtime)
+        yield from attachment.attach()
+        middleman = DarshanMiddleman(attachment)
+        for path in paths:
+            yield from io_ops.read_file(runtime, path)
+        return middleman.runtime_info()
+
+    info = run(env, proc())
+    assert info.file_counts["POSIX"] == 3
+    assert info.enabled

@@ -1,0 +1,90 @@
+"""Tests for the Darshan heat-map summaries."""
+
+import numpy as np
+import pytest
+
+from repro.darshan.dxt import DxtRecord, DxtSegment
+from repro.darshan.heatmap import Heatmap, build_heatmap
+
+
+def make_record(record_id, segments):
+    record = DxtRecord(record_id)
+    for op, offset, length, start, end in segments:
+        record.add(DxtSegment(op=op, offset=offset, length=length,
+                              start_time=start, end_time=end))
+    return record
+
+
+def test_heatmap_bins_bytes_uniformly_over_duration():
+    record = make_record(1, [("read", 0, 1000, 0.0, 2.0)])
+    heatmap = build_heatmap([record], 0.0, 4.0, bin_seconds=1.0)
+    series = heatmap.total_read_series()
+    assert len(series) == 4
+    assert series[0] == pytest.approx(500)
+    assert series[1] == pytest.approx(500)
+    assert series[2] == 0 and series[3] == 0
+    assert series.sum() == pytest.approx(1000)
+
+
+def test_heatmap_conserves_total_bytes():
+    record = make_record(1, [("read", 0, 700, 0.3, 2.7),
+                             ("read", 700, 300, 2.7, 2.9),
+                             ("write", 0, 400, 1.1, 1.4)])
+    heatmap = build_heatmap([record], 0.0, 3.0, bin_seconds=0.5)
+    assert heatmap.total_read_series().sum() == pytest.approx(1000, rel=1e-9)
+    assert heatmap.total_write_series().sum() == pytest.approx(400, rel=1e-9)
+
+
+def test_heatmap_separates_files():
+    a = make_record(1, [("read", 0, 100, 0.0, 1.0)])
+    b = make_record(2, [("read", 0, 900, 1.0, 2.0)])
+    heatmap = build_heatmap([a, b], 0.0, 2.0, bin_seconds=1.0)
+    assert heatmap.read_bins[1][0] == pytest.approx(100)
+    assert heatmap.read_bins[2][1] == pytest.approx(900)
+    assert heatmap.busiest_bin() == 1
+
+
+def test_instantaneous_segment_lands_in_one_bin():
+    record = make_record(1, [("read", 0, 50, 1.5, 1.5)])
+    heatmap = build_heatmap([record], 0.0, 3.0, bin_seconds=1.0)
+    assert heatmap.total_read_series()[1] == pytest.approx(50)
+
+
+def test_segments_outside_window_ignored():
+    record = make_record(1, [("read", 0, 100, 10.0, 11.0)])
+    heatmap = build_heatmap([record], 0.0, 2.0, bin_seconds=1.0)
+    assert heatmap.total_read_series().sum() == 0
+
+
+def test_render_lists_top_files():
+    a = make_record(1, [("read", 0, 10_000, 0.0, 1.0)])
+    b = make_record(2, [("read", 0, 100, 0.0, 1.0)])
+    heatmap = build_heatmap([a, b], 0.0, 2.0, bin_seconds=0.5)
+    text = heatmap.render(resolve_name=lambda rid: f"/data/file{rid}")
+    assert "I/O heat map" in text
+    assert "/data/file1" in text
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        build_heatmap([], 1.0, 1.0)
+    with pytest.raises(ValueError):
+        build_heatmap([], 0.0, 1.0, bin_seconds=0)
+
+
+def test_heatmap_from_profiled_run(env, os_image, darshan):
+    """End to end: heat map built from a real instrumented run."""
+    from tests.darshan.conftest import read_file_like_tf, run
+
+    for i in range(5):
+        os_image.vfs.create_file(f"/data/f{i}.bin", size=400_000)
+
+    def proc():
+        for i in range(5):
+            yield from read_file_like_tf(os_image, f"/data/f{i}.bin")
+
+    run(env, proc())
+    heatmap = build_heatmap(darshan.posix_module.dxt_records.values(),
+                            0.0, max(env.now, 0.01), bin_seconds=0.001)
+    assert heatmap.total_read_series().sum() == pytest.approx(5 * 400_000, rel=1e-6)
+    assert len(heatmap.read_bins) == 5

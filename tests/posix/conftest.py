@@ -1,0 +1,27 @@
+"""Shared fixtures for POSIX-layer tests."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.storage import LocalFilesystem, StreamingDevice
+from repro.posix import SimulatedOS
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def os_image(env):
+    """A SimulatedOS with a fast, flat SSD mounted at /data."""
+    image = SimulatedOS(env)
+    device = StreamingDevice(env, "ssd", read_bandwidth=500e6,
+                             write_bandwidth=400e6, latency=50e-6)
+    image.mount("/data", LocalFilesystem(env, device, name="ext4(ssd)"))
+    return image
+
+
+def run(env, gen):
+    """Run a generator as a process and return its result."""
+    return env.run(until=env.process(gen))

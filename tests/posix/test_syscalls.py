@@ -1,0 +1,246 @@
+"""Tests for the POSIX syscall layer."""
+
+import pytest
+
+from repro.posix import (
+    Errno,
+    O_APPEND,
+    O_CREAT,
+    O_RDONLY,
+    O_WRONLY,
+    SEEK_CUR,
+    SEEK_END,
+    SimBytes,
+    SimOSError,
+)
+from tests.posix.conftest import run
+
+
+def test_open_read_close_roundtrip(os_image, env):
+    os_image.vfs.create_file("/data/f.bin", size=1_000_000)
+
+    def proc():
+        fd = yield from os_image.posix.open("/data/f.bin")
+        data = yield from os_image.posix.read(fd, 400_000)
+        rest = yield from os_image.posix.read(fd, 1_000_000)
+        eof = yield from os_image.posix.read(fd, 100)
+        yield from os_image.posix.close(fd)
+        return data.nbytes, rest.nbytes, eof.nbytes
+
+    assert run(env, proc()) == (400_000, 600_000, 0)
+    assert env.now > 0
+
+
+def test_open_missing_file_raises_enoent(os_image, env):
+    def proc():
+        try:
+            yield from os_image.posix.open("/data/missing")
+        except SimOSError as exc:
+            return exc.errno
+
+    assert run(env, proc()) == Errno.ENOENT
+
+
+def test_open_with_creat_creates_file(os_image, env):
+    def proc():
+        fd = yield from os_image.posix.open("/data/new.log", O_WRONLY | O_CREAT)
+        n = yield from os_image.posix.write(fd, b"hello world")
+        yield from os_image.posix.close(fd)
+        return n
+
+    assert run(env, proc()) == 11
+    assert os_image.vfs.lookup("/data/new.log").size == 11
+
+
+def test_pread_does_not_move_offset(os_image, env):
+    os_image.vfs.create_file("/data/f", size=1000)
+
+    def proc():
+        fd = yield from os_image.posix.open("/data/f")
+        a = yield from os_image.posix.pread(fd, 100, 500)
+        b = yield from os_image.posix.read(fd, 100)
+        yield from os_image.posix.close(fd)
+        return a.nbytes, b.nbytes
+
+    # The pread at offset 500 must not affect the sequential read at 0.
+    assert run(env, proc()) == (100, 100)
+
+
+def test_pread_past_eof_returns_zero(os_image, env):
+    os_image.vfs.create_file("/data/f", size=100)
+
+    def proc():
+        fd = yield from os_image.posix.open("/data/f")
+        z = yield from os_image.posix.pread(fd, 4096, 100)
+        yield from os_image.posix.close(fd)
+        return z.nbytes
+
+    assert run(env, proc()) == 0
+
+
+def test_read_on_write_only_fd_fails(os_image, env):
+    os_image.vfs.create_file("/data/f", size=100)
+
+    def proc():
+        fd = yield from os_image.posix.open("/data/f", O_WRONLY)
+        try:
+            yield from os_image.posix.read(fd, 10)
+        except SimOSError as exc:
+            return exc.errno
+
+    assert run(env, proc()) == Errno.EBADF
+
+
+def test_write_then_read_back_content(os_image, env):
+    def proc():
+        fd = yield from os_image.posix.open("/data/cfg", O_WRONLY | O_CREAT)
+        yield from os_image.posix.write(fd, b"abcdef")
+        yield from os_image.posix.close(fd)
+        fd = yield from os_image.posix.open("/data/cfg", O_RDONLY)
+        data = yield from os_image.posix.read(fd, 100)
+        yield from os_image.posix.close(fd)
+        return data.to_bytes()
+
+    assert run(env, proc()) == b"abcdef"
+
+
+def test_append_mode_writes_at_end(os_image, env):
+    os_image.vfs.create_file("/data/log", content=b"12345")
+
+    def proc():
+        fd = yield from os_image.posix.open("/data/log", O_WRONLY | O_APPEND)
+        yield from os_image.posix.write(fd, b"678")
+        yield from os_image.posix.close(fd)
+
+    run(env, proc())
+    assert os_image.vfs.lookup("/data/log").size == 8
+
+
+def test_lseek_whence_variants(os_image, env):
+    os_image.vfs.create_file("/data/f", size=1000)
+
+    def proc():
+        fd = yield from os_image.posix.open("/data/f")
+        a = yield from os_image.posix.lseek(fd, 100)
+        b = yield from os_image.posix.lseek(fd, 50, SEEK_CUR)
+        c = yield from os_image.posix.lseek(fd, -10, SEEK_END)
+        yield from os_image.posix.close(fd)
+        return a, b, c
+
+    assert run(env, proc()) == (100, 150, 990)
+
+
+def test_lseek_negative_offset_rejected(os_image, env):
+    os_image.vfs.create_file("/data/f", size=10)
+
+    def proc():
+        fd = yield from os_image.posix.open("/data/f")
+        try:
+            yield from os_image.posix.lseek(fd, -100)
+        except SimOSError as exc:
+            return exc.errno
+
+    assert run(env, proc()) == Errno.EINVAL
+
+
+def test_stat_and_fstat_report_size(os_image, env):
+    os_image.vfs.create_file("/data/f", size=12345)
+
+    def proc():
+        st = yield from os_image.posix.stat("/data/f")
+        fd = yield from os_image.posix.open("/data/f")
+        fst = yield from os_image.posix.fstat(fd)
+        yield from os_image.posix.close(fd)
+        return st.st_size, fst.st_size, st.is_dir
+
+    assert run(env, proc()) == (12345, 12345, False)
+
+
+def test_unlink_removes_file(os_image, env):
+    os_image.vfs.create_file("/data/f", size=10)
+
+    def proc():
+        yield from os_image.posix.unlink("/data/f")
+
+    run(env, proc())
+    assert not os_image.vfs.exists("/data/f")
+
+
+def test_bad_fd_raises_ebadf(os_image, env):
+    def proc():
+        try:
+            yield from os_image.posix.read(999, 10)
+        except SimOSError as exc:
+            return exc.errno
+
+    assert run(env, proc()) == Errno.EBADF
+
+
+def test_double_close_raises(os_image, env):
+    os_image.vfs.create_file("/data/f", size=10)
+
+    def proc():
+        fd = yield from os_image.posix.open("/data/f")
+        yield from os_image.posix.close(fd)
+        try:
+            yield from os_image.posix.close(fd)
+        except SimOSError as exc:
+            return exc.errno
+
+    assert run(env, proc()) == Errno.EBADF
+
+
+def test_read_time_scales_with_size(os_image, env):
+    """Larger reads must take proportionally longer on the device."""
+    os_image.vfs.create_file("/data/small", size=1_000_000)
+    os_image.vfs.create_file("/data/big", size=100_000_000)
+    os_image.vfs.enable_page_cache = False
+
+    def read_all(path, size):
+        fd = yield from os_image.posix.open(path)
+        yield from os_image.posix.read(fd, size)
+        yield from os_image.posix.close(fd)
+
+    t0 = env.now
+    run(env, read_all("/data/small", 1_000_000))
+    small_time = env.now - t0
+    t1 = env.now
+    run(env, read_all("/data/big", 100_000_000))
+    big_time = env.now - t1
+    assert big_time > 50 * small_time
+
+
+def test_second_read_hits_page_cache(os_image, env):
+    os_image.vfs.create_file("/data/f", size=10_000_000)
+
+    def read_once():
+        fd = yield from os_image.posix.open("/data/f")
+        yield from os_image.posix.read(fd, 10_000_000)
+        yield from os_image.posix.close(fd)
+
+    t0 = env.now
+    run(env, read_once())
+    cold = env.now - t0
+    t1 = env.now
+    run(env, read_once())
+    warm = env.now - t1
+    assert warm < cold / 5
+    # And dropping caches restores the cold path.
+    os_image.drop_caches()
+    t2 = env.now
+    run(env, read_once())
+    assert env.now - t2 > warm * 5
+
+
+def test_call_counts_tracked(os_image, env):
+    os_image.vfs.create_file("/data/f", size=100)
+
+    def proc():
+        fd = yield from os_image.posix.open("/data/f")
+        yield from os_image.posix.pread(fd, 100, 0)
+        yield from os_image.posix.close(fd)
+
+    run(env, proc())
+    assert os_image.posix.call_counts["open"] == 1
+    assert os_image.posix.call_counts["pread"] == 1
+    assert os_image.posix.call_counts["close"] == 1

@@ -1,0 +1,129 @@
+"""Property-based tests of the simulation kernel invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import CPUPool, Environment, SharedBandwidth, WorkerPool
+from repro.sim.rng import derive_seed, make_rng
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_timeouts_finish_at_max_delay(delays):
+    env = Environment()
+    for d in delays:
+        env.timeout(d)
+    env.run()
+    assert env.now == max(delays)
+
+
+@given(
+    rate=st.floats(min_value=1.0, max_value=1e6),
+    amounts=st.lists(st.floats(min_value=1.0, max_value=1e6), min_size=1, max_size=10),
+)
+@settings(max_examples=60, deadline=None)
+def test_shared_bandwidth_conserves_work(rate, amounts):
+    """Total simulated time must be exactly total work / rate when all flows
+    start together (work conservation of fair sharing)."""
+    env = Environment()
+    link = SharedBandwidth(env, rate=rate)
+
+    def proc(amount):
+        yield link.transfer(amount)
+
+    for amount in amounts:
+        env.process(proc(amount))
+    env.run()
+    assert math.isclose(env.now, sum(amounts) / rate, rel_tol=1e-6)
+    assert math.isclose(link.total_transferred, sum(amounts), rel_tol=1e-9)
+
+
+@given(
+    rate=st.floats(min_value=1.0, max_value=1e4),
+    amounts=st.lists(st.floats(min_value=1.0, max_value=1e4), min_size=2, max_size=8),
+    delays=st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=2, max_size=8),
+)
+@settings(max_examples=60, deadline=None)
+def test_shared_bandwidth_never_beats_dedicated_link(rate, amounts, delays):
+    """No flow may finish earlier than it would on a dedicated link."""
+    n = min(len(amounts), len(delays))
+    amounts, delays = amounts[:n], delays[:n]
+    env = Environment()
+    link = SharedBandwidth(env, rate=rate)
+    records = []
+
+    def proc(amount, delay):
+        yield env.timeout(delay)
+        rec = yield link.transfer(amount)
+        records.append((amount, delay, rec))
+
+    for amount, delay in zip(amounts, delays):
+        env.process(proc(amount, delay))
+    env.run()
+    assert len(records) == n
+    for amount, delay, rec in records:
+        dedicated = amount / rate
+        assert rec.end >= delay + dedicated - 1e-9
+        assert rec.start >= delay - 1e-9
+
+
+@given(
+    cores=st.integers(min_value=1, max_value=16),
+    tasks=st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=24),
+)
+@settings(max_examples=50, deadline=None)
+def test_cpu_pool_makespan_bounds(cores, tasks):
+    """Makespan is bounded below by max(total/cores, longest task)."""
+    env = Environment()
+    cpu = CPUPool(env, cores=cores)
+
+    def proc(work):
+        yield cpu.compute(work)
+
+    for work in tasks:
+        env.process(proc(work))
+    env.run()
+    lower = max(sum(tasks) / cores, max(tasks))
+    assert env.now >= lower - 1e-9
+    # Fair sharing with simultaneous arrivals is work conserving:
+    assert env.now <= sum(tasks) + 1e-9
+
+
+@given(
+    workers=st.integers(min_value=1, max_value=8),
+    durations=st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=1, max_size=30),
+)
+@settings(max_examples=50, deadline=None)
+def test_worker_pool_completes_all_jobs(workers, durations):
+    env = Environment()
+    pool = WorkerPool(env, workers=workers)
+
+    def make(d):
+        def task():
+            yield env.timeout(d)
+            return d
+        return task
+
+    jobs = [pool.submit(make(d)) for d in durations]
+    env.run(until=env.all_of([j.done for j in jobs]))
+    assert pool.completed_jobs == len(durations)
+    # A FIFO pool cannot be faster than greedy list scheduling lower bound.
+    assert env.now >= max(durations) - 1e-9
+    assert env.now >= sum(durations) / workers - 1e-9
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.text(max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_derive_seed_is_stable_and_distinct(base, name):
+    assert derive_seed(base, name) == derive_seed(base, name)
+    assert derive_seed(base, name) != derive_seed(base, name + "-other")
+
+
+@given(st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=30, deadline=None)
+def test_make_rng_reproducible(seed):
+    a = make_rng(seed, "component").random(8)
+    b = make_rng(seed, "component").random(8)
+    assert (a == b).all()

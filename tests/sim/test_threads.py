@@ -1,0 +1,109 @@
+"""Tests for the simulated worker pool."""
+
+import pytest
+
+from repro.sim import Environment, WorkerPool
+
+
+def make_task(env, duration, result=None):
+    def task():
+        yield env.timeout(duration)
+        return result
+    return task
+
+
+def test_pool_requires_positive_workers():
+    env = Environment()
+    with pytest.raises(ValueError):
+        WorkerPool(env, workers=0)
+
+
+def test_single_worker_serializes_tasks():
+    env = Environment()
+    pool = WorkerPool(env, workers=1)
+    jobs = [pool.submit(make_task(env, 2.0, i)) for i in range(3)]
+    env.run(until=env.all_of([j.done for j in jobs]))
+    assert env.now == pytest.approx(6.0)
+    assert [j.done.value for j in jobs] == [0, 1, 2]
+
+
+def test_parallel_workers_overlap_tasks():
+    env = Environment()
+    pool = WorkerPool(env, workers=4)
+    jobs = [pool.submit(make_task(env, 2.0, i)) for i in range(4)]
+    env.run(until=env.all_of([j.done for j in jobs]))
+    assert env.now == pytest.approx(2.0)
+
+
+def test_queue_delay_recorded():
+    env = Environment()
+    pool = WorkerPool(env, workers=1)
+    first = pool.submit(make_task(env, 3.0))
+    second = pool.submit(make_task(env, 1.0))
+    env.run(until=env.all_of([first.done, second.done]))
+    assert first.queue_delay == pytest.approx(0.0)
+    assert second.queue_delay == pytest.approx(3.0)
+
+
+def test_failed_task_fails_job_event():
+    env = Environment()
+    pool = WorkerPool(env, workers=1)
+
+    def bad():
+        yield env.timeout(1.0)
+        raise RuntimeError("task exploded")
+
+    job = pool.submit(bad)
+
+    def waiter():
+        try:
+            yield job.done
+        except RuntimeError as exc:
+            return str(exc)
+
+    p = env.process(waiter())
+    assert env.run(until=p) == "task exploded"
+
+
+def test_pool_continues_after_failed_task():
+    env = Environment()
+    pool = WorkerPool(env, workers=1)
+
+    def bad():
+        raise RuntimeError("early failure")
+        yield  # pragma: no cover - makes this a generator
+
+    bad_job = pool.submit(bad)
+    good_job = pool.submit(make_task(env, 1.0, "ok"))
+
+    def waiter():
+        try:
+            yield bad_job.done
+        except RuntimeError:
+            pass
+        result = yield good_job.done
+        return result
+
+    p = env.process(waiter())
+    assert env.run(until=p) == "ok"
+
+
+def test_close_drains_queue_then_stops_workers():
+    env = Environment()
+    pool = WorkerPool(env, workers=2)
+    jobs = [pool.submit(make_task(env, 1.0, i)) for i in range(4)]
+    done = pool.close()
+    env.run(until=done)
+    assert pool.completed_jobs == 4
+    assert all(j.done.triggered for j in jobs)
+    with pytest.raises(RuntimeError):
+        pool.submit(make_task(env, 1.0))
+
+
+def test_jobs_record_worker_assignment():
+    env = Environment()
+    pool = WorkerPool(env, workers=2)
+    jobs = [pool.submit(make_task(env, 1.0)) for _ in range(4)]
+    env.run(until=env.all_of([j.done for j in jobs]))
+    workers_used = {j.worker for j in jobs}
+    assert workers_used == {0, 1}

@@ -1,0 +1,84 @@
+"""Tests for device metrics and throughput timelines."""
+
+import numpy as np
+import pytest
+
+from repro.storage.metrics import DeviceMetrics, merge_timelines
+
+
+def test_bytes_between_full_overlap():
+    m = DeviceMetrics("d")
+    m.record_transfer(1.0, 3.0, 200)
+    assert m.bytes_between(0.0, 4.0) == pytest.approx(200)
+
+
+def test_bytes_between_partial_overlap_is_proportional():
+    m = DeviceMetrics("d")
+    m.record_transfer(0.0, 10.0, 1000)
+    assert m.bytes_between(0.0, 5.0) == pytest.approx(500)
+    assert m.bytes_between(2.5, 7.5) == pytest.approx(500)
+    assert m.bytes_between(9.0, 20.0) == pytest.approx(100)
+
+
+def test_bytes_between_read_write_filter():
+    m = DeviceMetrics("d")
+    m.record_transfer(0.0, 1.0, 100, is_write=False)
+    m.record_transfer(0.0, 1.0, 50, is_write=True)
+    assert m.bytes_between(0, 1, writes=False) == pytest.approx(100)
+    assert m.bytes_between(0, 1, writes=True) == pytest.approx(50)
+    assert m.bytes_between(0, 1) == pytest.approx(150)
+
+
+def test_instantaneous_transfer_lands_in_its_bin():
+    m = DeviceMetrics("d")
+    m.record_transfer(2.0, 2.0, 42)
+    assert m.bytes_between(2.0, 3.0) == pytest.approx(42)
+    assert m.bytes_between(0.0, 2.0) == pytest.approx(0)
+
+
+def test_throughput_timeline_bins():
+    m = DeviceMetrics("d")
+    m.record_transfer(0.0, 2.0, 200)  # 100 B/s for two seconds
+    times, rates = m.throughput_timeline(bin_seconds=1.0)
+    assert len(times) == 2
+    assert rates[0] == pytest.approx(100)
+    assert rates[1] == pytest.approx(100)
+
+
+def test_throughput_timeline_total_is_conserved():
+    m = DeviceMetrics("d")
+    m.record_transfer(0.3, 4.7, 1234)
+    m.record_transfer(1.1, 1.9, 777)
+    times, rates = m.throughput_timeline(bin_seconds=0.5)
+    assert rates.sum() * 0.5 == pytest.approx(1234 + 777, rel=1e-9)
+
+
+def test_invalid_interval_rejected():
+    m = DeviceMetrics("d")
+    with pytest.raises(ValueError):
+        m.record_transfer(5.0, 4.0, 10)
+
+
+def test_reset_clears_everything():
+    m = DeviceMetrics("d")
+    m.record_transfer(0.0, 1.0, 10)
+    m.record_metadata_op()
+    m.reset()
+    assert m.total_bytes == 0
+    assert m.metadata_ops == 0
+    assert m.intervals == []
+
+
+def test_merge_timelines_sums_rates():
+    a = (np.array([0.0, 1.0]), np.array([10.0, 20.0]))
+    b = (np.array([0.0, 1.0, 2.0]), np.array([1.0, 2.0, 3.0]))
+    times, total = merge_timelines([a, b])
+    assert len(times) == 3
+    assert total[0] == pytest.approx(11.0)
+    assert total[1] == pytest.approx(22.0)
+    assert total[2] == pytest.approx(3.0)
+
+
+def test_merge_timelines_empty():
+    times, total = merge_timelines([])
+    assert len(times) == 0 and len(total) == 0

@@ -1,0 +1,42 @@
+"""Shared fixtures for tfmini tests: a small runtime over a fast SSD."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.storage import LocalFilesystem, StreamingDevice
+from repro.posix import SimulatedOS
+from repro.tfmini import TFRuntime
+from repro.tfmini.device import GPUDevice
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def os_image(env):
+    image = SimulatedOS(env)
+    device = StreamingDevice(env, "ssd", read_bandwidth=500e6,
+                             write_bandwidth=400e6, latency=30e-6)
+    image.mount("/data", LocalFilesystem(env, device, name="ext4(ssd)"))
+    return image
+
+
+@pytest.fixture
+def runtime(env, os_image):
+    gpus = [GPUDevice(env, name="GPU:0")]
+    return TFRuntime(env, os_image, cpu_cores=4, gpus=gpus)
+
+
+def run(env, gen):
+    return env.run(until=env.process(gen))
+
+
+def make_files(os_image, count, size, prefix="/data/train"):
+    paths = []
+    for i in range(count):
+        path = f"{prefix}/sample_{i:05d}.bin"
+        os_image.vfs.create_file(path, size=size)
+        paths.append(path)
+    return paths

@@ -1,0 +1,102 @@
+"""End-to-end integration tests of the experiment runners (small scales)."""
+
+import pytest
+
+from repro.tools import StreamBenchmark, within_factor
+from repro.workloads import (
+    greendog,
+    run_imagenet_case,
+    run_malware_case,
+    run_overhead_case,
+    run_stream_validation,
+)
+from repro.workloads.datasets import build_imagenet_dataset
+
+MIB = 1 << 20
+
+
+def test_malware_case_produces_profile_and_dstat():
+    result = run_malware_case(scale=0.02, threads=1, profile="epoch", seed=3)
+    assert result.steps > 0
+    assert result.io_profile is not None
+    # The profile window covers (almost exactly) every sample of the epoch; a
+    # couple of files may be opened by the prefetcher before the profiler
+    # finishes starting, as in the paper's "approximately 128K files opened".
+    expected_opens = result.steps * result.batch_size
+    assert abs(result.io_profile.posix_opens - expected_opens) <= 12
+    # tf-Darshan and the device counters agree on the volume read.
+    assert within_factor(result.io_profile.posix_bytes_read, result.bytes_read, 1.05)
+    # dstat saw the same traffic.
+    assert within_factor(result.dstat.total_read_bytes, result.bytes_read, 1.05)
+    assert result.fit_time > 0
+
+
+def test_malware_threading_reduces_bandwidth_on_hdd():
+    naive = run_malware_case(scale=0.02, threads=1, profile="epoch", seed=3)
+    threaded = run_malware_case(scale=0.02, threads=16, profile="epoch", seed=3)
+    assert threaded.posix_bandwidth < naive.posix_bandwidth
+    assert threaded.fit_time > naive.fit_time
+
+
+def test_malware_staging_improves_bandwidth():
+    naive = run_malware_case(scale=0.02, threads=1, profile="epoch", seed=3)
+    staged = run_malware_case(scale=0.02, threads=1, profile="epoch", seed=3,
+                              staging_threshold=2 * MIB)
+    assert staged.staging is not None
+    assert staged.staging.file_count > 0
+    assert staged.posix_bandwidth > naive.posix_bandwidth
+    assert staged.fit_time < naive.fit_time
+    # Staged bytes are a small fraction of the corpus (Section V-B).
+    assert staged.staging.staged_bytes < 0.15 * staged.config["dataset_bytes"]
+
+
+def test_imagenet_threading_improves_bandwidth_on_lustre():
+    slow = run_imagenet_case(scale=0.005, threads=1, profile="epoch", seed=3)
+    fast = run_imagenet_case(scale=0.005, threads=28, profile="epoch", seed=3)
+    assert fast.posix_bandwidth > 3 * slow.posix_bandwidth
+    # Twice as many reads as opens: every file ends with a zero-length read.
+    assert slow.io_profile.posix_reads == pytest.approx(
+        2 * slow.io_profile.posix_opens, abs=8)
+
+
+def test_imagenet_profile_is_input_bound():
+    result = run_imagenet_case(scale=0.005, threads=1, profile="epoch", seed=3)
+    # The profile window covers the whole epoch; the runtime recorded steps.
+    assert result.io_profile is not None
+    assert result.io_profile.zero_byte_reads == pytest.approx(
+        result.io_profile.posix_opens, abs=8)
+
+
+def test_overhead_case_ordering():
+    baseline = run_overhead_case("stream_malware", "none", steps=4,
+                                 batch_size=32, scale=0.02)
+    tf_only = run_overhead_case("stream_malware", "tf", steps=4,
+                                batch_size=32, scale=0.02)
+    tfdarshan = run_overhead_case("stream_malware", "tfdarshan", steps=4,
+                                  batch_size=32, scale=0.02)
+    assert baseline <= tf_only <= tfdarshan
+    assert tfdarshan / baseline < 1.3
+
+
+def test_overhead_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        run_overhead_case("imagenet", "perf")
+
+
+def test_stream_validation_tfdarshan_matches_dstat():
+    result = run_stream_validation("imagenet", steps=10, batch_size=64,
+                                   threads=16, scale=0.01, seed=3)
+    assert result.steps == 10
+    assert len(result.tfdarshan_series) == 2  # one window per 5 steps
+    dstat_rate = result.dstat.mean_read_rate(ignore_idle=True)
+    assert within_factor(result.mean_tfdarshan_bandwidth, dstat_rate, 1.5)
+
+
+def test_stream_profiler_modes():
+    with pytest.raises(ValueError):
+        platform = greendog()
+        StreamBenchmark(platform.runtime, ["/data/x"], profiler="bogus")
+    result = run_stream_validation("imagenet", steps=4, batch_size=32,
+                                   threads=8, scale=0.01, profiler="none",
+                                   seed=3)
+    assert result.tfdarshan_series == []
