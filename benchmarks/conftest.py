@@ -18,6 +18,23 @@ if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
 
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def pytest_collection_modifyitems(items):
+    """Benchmarks are opt-in (``-m bench``) unless they claim tier1.
+
+    The figure/table harnesses each run whole (scaled) training campaigns;
+    keeping them out of the default selection keeps `pytest -x -q` fast.
+    The kernel-throughput micro-benchmark marks itself ``tier1`` so the
+    >=2x scheduler-speedup gate runs on every commit.
+    """
+    for item in items:
+        if (str(item.fspath).startswith(_BENCH_DIR)
+                and "tier1" not in item.keywords):
+            item.add_marker(pytest.mark.bench)
+
+
 def run_once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` exactly once under pytest-benchmark and return its result."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,

@@ -7,13 +7,18 @@ the end may not provide a big improvement").  The sweep quantifies that
 trade-off: bandwidth gained per staged byte is best for small thresholds,
 and staging *large* files instead consumes far more Optane capacity for a
 comparable gain.
+
+The sweep is a single campaign: one ``staging_threshold`` axis whose ``0``
+point is the unstaged baseline, executed through the multiprocessing
+executor so the four training runs proceed in parallel.
 """
 
 import pytest
 
 from benchmarks.conftest import report, run_once
+from repro.campaign import MultiprocessingExecutor, run_campaign
 from repro.tools import PaperComparison, format_table
-from repro.workloads import run_malware_case
+from repro.workloads import staging_threshold_spec
 
 SCALE = 0.05
 BATCH = 32
@@ -23,25 +28,24 @@ THRESHOLDS = (512 * 1024, 2 * MIB, 8 * MIB)
 
 
 def _sweep():
-    naive = run_malware_case(scale=SCALE, batch_size=BATCH, threads=1,
-                             profile="epoch", seed=1)
-    results = {}
-    for threshold in THRESHOLDS:
-        results[threshold] = run_malware_case(
-            scale=SCALE, batch_size=BATCH, threads=1, profile="epoch",
-            staging_threshold=threshold, seed=1)
-    return naive, results
+    spec = staging_threshold_spec(thresholds=[0, *THRESHOLDS],
+                                  scale=SCALE, batch_size=BATCH, seed=1)
+    result = run_campaign(spec, executor=MultiprocessingExecutor(processes=4))
+    assert result.ok, result.failures
+    return result
 
 
 def test_ablation_staging_threshold_sweep(benchmark):
-    naive, results = run_once(benchmark, _sweep)
+    sweep = run_once(benchmark, _sweep)
+    naive = sweep.one({"staging_threshold": 0}).metrics
 
     rows = []
     gains = {}
     staged_fraction = {}
-    for threshold, run in results.items():
-        gain = run.posix_bandwidth / naive.posix_bandwidth - 1.0
-        fraction = run.staging.staged_bytes / run.config["dataset_bytes"]
+    for threshold in THRESHOLDS:
+        run = sweep.one({"staging_threshold": threshold}).metrics
+        gain = run["posix_bandwidth"] / naive["posix_bandwidth"] - 1.0
+        fraction = run["staged_bytes"] / run["dataset_bytes"]
         gains[threshold] = gain
         staged_fraction[threshold] = fraction
         efficiency = gain / fraction if fraction > 0 else 0.0

@@ -7,13 +7,17 @@ profiling every 5 steps.  Reported overheads: TF Profiler alone 0.1-2.1 %;
 TF Profiler + tf-Darshan roughly 10-20 % for the use cases and 0.6-7 % for
 the STREAM runs, dominated by the post-profiling collection/analysis and
 correlated with the number of files processed per unit time.
+
+The twelve bars (4 cases × 3 profiler modes, baselines included) are one
+campaign grid executed through the multiprocessing executor.
 """
 
 import pytest
 
 from benchmarks.conftest import report, run_once
+from repro.campaign import MultiprocessingExecutor, run_campaign
 from repro.tools import PaperComparison, format_table
-from repro.workloads import run_overhead_case
+from repro.workloads import overhead_grid_spec
 
 STEPS = 10
 BATCH = 128
@@ -30,13 +34,17 @@ CASES = ("imagenet", "malware", "stream_imagenet", "stream_malware")
 
 
 def _measure_all():
+    spec = overhead_grid_spec(cases=CASES,
+                              profilers=("none", "tf", "tfdarshan"),
+                              steps=STEPS, batch_size=BATCH, seed=1)
+    sweep = run_campaign(spec, executor=MultiprocessingExecutor(processes=4))
+    assert sweep.ok, sweep.failures
     overheads = {}
     for case in CASES:
-        baseline = run_overhead_case(case, "none", steps=STEPS, batch_size=BATCH,
-                                     seed=1)
+        baseline = sweep.one({"case": case, "profiler": "none"}).metrics["elapsed"]
         for profiler in ("tf", "tfdarshan"):
-            elapsed = run_overhead_case(case, profiler, steps=STEPS,
-                                        batch_size=BATCH, seed=1)
+            elapsed = sweep.one({"case": case,
+                                 "profiler": profiler}).metrics["elapsed"]
             overheads[(case, profiler)] = 100.0 * (elapsed / baseline - 1.0)
     return overheads
 

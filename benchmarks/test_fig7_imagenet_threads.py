@@ -10,72 +10,77 @@ Paper observations (Kebnekaise, Lustre, batch 256, full-epoch profile):
 
 The benchmark runs the same configuration at 1/20 dataset scale (6 400
 files) and checks every one of those shapes, plus the absolute bandwidths
-within a factor of two.
+within a factor of two.  Since the campaign refactor the grid is expressed
+as a :class:`~repro.campaign.spec.SweepSpec` over the ``threads`` axis and
+executed through :func:`repro.campaign.run_campaign`, fanning the two
+training runs out across worker processes.
 """
 
 import pytest
 
 from benchmarks.conftest import report, run_once
+from repro.campaign import MultiprocessingExecutor, run_campaign
 from repro.tools import PaperComparison, mbps, within_factor
-from repro.workloads import run_imagenet_case
+from repro.workloads import imagenet_threads_spec
 
 SCALE = 0.05
 BATCH = 256
 
 
-def _run_both():
-    one = run_imagenet_case(scale=SCALE, batch_size=BATCH, threads=1,
-                            profile="epoch", seed=1)
-    many = run_imagenet_case(scale=SCALE, batch_size=BATCH, threads=28,
-                             profile="epoch", seed=1)
-    return one, many
+def _run_sweep():
+    spec = imagenet_threads_spec(threads=(1, 28), scale=SCALE,
+                                 batch_size=BATCH, seed=1)
+    result = run_campaign(spec, executor=MultiprocessingExecutor(processes=2))
+    assert result.ok, result.failures
+    return result
 
 
 def test_fig7_imagenet_threading(benchmark):
-    one, many = run_once(benchmark, _run_both)
-    profile = one.io_profile
-    expected_files = one.steps * BATCH
+    sweep = run_once(benchmark, _run_sweep)
+    one = sweep.one({"threads": 1}).metrics
+    many = sweep.one({"threads": 28}).metrics
+    expected_files = one["steps"] * BATCH
 
-    small_reads = profile.read_size_histogram.get("0_100", 0)
-    pattern = profile.access_pattern
-    speedup = many.posix_bandwidth / one.posix_bandwidth
+    hist = one["read_size_histogram"]
+    small_reads = hist.get("0_100", 0)
+    speedup = many["posix_bandwidth"] / one["posix_bandwidth"]
 
     comparisons = [
         PaperComparison("1 thread: POSIX bandwidth", "~3 MB/s",
-                        mbps(one.posix_bandwidth),
-                        within_factor(one.posix_bandwidth, 3e6, 2.0)),
+                        mbps(one["posix_bandwidth"]),
+                        within_factor(one["posix_bandwidth"], 3e6, 2.0)),
         PaperComparison("files opened during the epoch",
                         f"~{expected_files} (scaled from 128K)",
-                        str(profile.posix_opens),
-                        within_factor(profile.posix_opens, expected_files, 1.05)),
+                        str(one["posix_opens"]),
+                        within_factor(one["posix_opens"], expected_files, 1.05)),
         PaperComparison("POSIX reads ~= 2x opens", "~256K vs 128K",
-                        f"{profile.posix_reads} vs {profile.posix_opens}",
-                        within_factor(profile.posix_reads,
-                                      2 * profile.posix_opens, 1.05)),
+                        f"{one['posix_reads']} vs {one['posix_opens']}",
+                        within_factor(one["posix_reads"],
+                                      2 * one["posix_opens"], 1.05)),
         PaperComparison("~50% of reads below 100 bytes", "~50 %",
-                        f"{100 * small_reads / profile.posix_reads:.1f} %",
-                        0.45 < small_reads / profile.posix_reads < 0.55),
+                        f"{100 * small_reads / one['posix_reads']:.1f} %",
+                        0.45 < small_reads / one["posix_reads"] < 0.55),
         PaperComparison("~50% of reads neither seq nor consec", "~50 %",
-                        f"{100 * pattern.random_fraction:.1f} %",
-                        0.45 < pattern.random_fraction < 0.55),
+                        f"{100 * one['random_fraction']:.1f} %",
+                        0.45 < one["random_fraction"] < 0.55),
         PaperComparison("remaining reads are 1KB-1MB", "rest of reads",
-                        str(sum(profile.read_size_histogram.get(b, 0)
+                        str(sum(hist.get(b, 0)
                                 for b in ("1K_10K", "10K_100K", "100K_1M"))),
-                        sum(profile.read_size_histogram.get(b, 0)
+                        sum(hist.get(b, 0)
                             for b in ("1K_10K", "10K_100K", "100K_1M"))
-                        == profile.posix_reads - small_reads),
+                        == one["posix_reads"] - small_reads),
         PaperComparison("28 threads: POSIX bandwidth", "~24 MB/s",
-                        mbps(many.posix_bandwidth),
-                        within_factor(many.posix_bandwidth, 24e6, 2.0)),
+                        mbps(many["posix_bandwidth"]),
+                        within_factor(many["posix_bandwidth"], 24e6, 2.0)),
         PaperComparison("threading speedup", "~8x",
                         f"{speedup:.1f}x", 5.0 <= speedup <= 11.0),
         PaperComparison("1 thread: step time waiting for input", "~96 %",
-                        f"{one.input_percent:.1f} %",
-                        one.input_percent >= 90.0),
+                        f"{one['input_percent']:.1f} %",
+                        one["input_percent"] >= 90.0),
         PaperComparison("still input bound with 28 threads", "input bound",
-                        f"{many.input_percent:.1f} %",
-                        many.input_percent >= 50.0),
+                        f"{many['input_percent']:.1f} %",
+                        many["input_percent"] >= 50.0),
     ]
     report("Fig. 7: ImageNet 1 thread vs 28 threads", comparisons)
     assert all(c.matches for c in comparisons)
-    assert one.fit_time > many.fit_time
+    assert one["fit_time"] > many["fit_time"]

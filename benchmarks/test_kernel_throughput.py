@@ -1,0 +1,147 @@
+"""Micro-benchmark: event throughput of the optimized kernel vs the seed.
+
+Measures events/second on churn workloads — rapid scheduling turnover with
+little work per event, the regime where scheduler overhead dominates — on
+both the production kernel (:mod:`repro.sim`) and the frozen seed kernel
+(:mod:`repro.sim.seedref`), in the same process back-to-back so machine
+noise hits both sides alike.
+
+The asserted workload is *immediate churn*: cooperative zero-delay yields
+and event handoffs, the event mix the resource/store/bandwidth layers
+generate (every transfer completion, queue handoff and page-cache hit is a
+``succeed`` at the current timestamp).  This is precisely what the
+immediate-event deque fast path targets, and the acceptance bar is >=2x
+over the seed scheduler on a 100k-event run.  Timer-wheel churn (strictly
+positive delays, pure heap traffic) is reported alongside: it improves too
+(``__slots__``, inlined constructors), but its floor is the C heap and the
+generator protocol, so no 2x is claimed or asserted there.
+"""
+
+import time
+
+import pytest
+
+import repro.sim as optimized
+from repro.sim import seedref
+
+pytestmark = pytest.mark.tier1
+
+#: Total events in the asserted churn run (acceptance: 100k events).
+N_PROCS = 100
+N_ITERS = 1000
+
+
+def _immediate_churn(kernel):
+    """100k-event churn of zero-delay yields and succeed-driven handoffs."""
+    env = kernel.Environment()
+
+    def yielder():
+        timeout = env.timeout
+        for _ in range(N_ITERS):
+            yield timeout(0)
+
+    def handoff():
+        event = env.event
+        for _ in range(N_ITERS):
+            ev = event()
+            ev.succeed()
+            yield ev
+
+    for i in range(N_PROCS):
+        env.process(yielder() if i % 4 else handoff())
+    start = time.perf_counter()
+    env.run()
+    return N_PROCS * N_ITERS, time.perf_counter() - start
+
+
+def _timer_churn(kernel):
+    """100k-event churn of strictly-future timeouts (pure heap traffic)."""
+    env = kernel.Environment()
+
+    def sleeper(delay):
+        timeout = env.timeout
+        for _ in range(N_ITERS):
+            yield timeout(delay)
+
+    for i in range(N_PROCS):
+        env.process(sleeper(0.001 + i * 1e-6))
+    start = time.perf_counter()
+    env.run()
+    return N_PROCS * N_ITERS, time.perf_counter() - start
+
+
+def _measure(workload, rounds=5):
+    """Best events/second for each kernel, alternating round by round.
+
+    Alternation plus a pre-round collect with the collector paused during
+    the timed region keeps host noise (GC pauses, turbo/thermal drift,
+    neighbouring pytest processes) from landing on one kernel only —
+    best-of-N then discards whatever noise remains.
+    """
+    import gc
+
+    best = {"seed": float("inf"), "optimized": float("inf")}
+    events = {"seed": 0, "optimized": 0}
+    for _ in range(rounds):
+        for name, kernel in (("seed", seedref), ("optimized", optimized)):
+            gc.collect()
+            gc.disable()
+            try:
+                n, elapsed = workload(kernel)
+            finally:
+                gc.enable()
+            events[name] = n
+            best[name] = min(best[name], elapsed)
+    return {name: events[name] / best[name] for name in best}
+
+
+@pytest.fixture(scope="module")
+def throughput():
+    return {
+        "immediate": _measure(_immediate_churn),
+        "timer": _measure(_timer_churn),
+    }
+
+
+def test_immediate_churn_speedup_at_least_2x(throughput):
+    rates = throughput["immediate"]
+    speedup = rates["optimized"] / rates["seed"]
+    if speedup < 2.0:
+        # A heavily loaded host can compress the gap; one longer, calmer
+        # remeasure before declaring the optimization regressed.
+        rates = _measure(_immediate_churn, rounds=9)
+        speedup = rates["optimized"] / rates["seed"]
+    print(f"\nimmediate churn: seed {rates['seed']:,.0f} ev/s, "
+          f"optimized {rates['optimized']:,.0f} ev/s -> {speedup:.2f}x")
+    assert speedup >= 2.0, (
+        f"expected >=2x event throughput on the immediate-churn workload, "
+        f"got {speedup:.2f}x")
+
+
+def test_timer_churn_does_not_regress(throughput):
+    rates = throughput["timer"]
+    speedup = rates["optimized"] / rates["seed"]
+    print(f"\ntimer churn: seed {rates['seed']:,.0f} ev/s, "
+          f"optimized {rates['optimized']:,.0f} ev/s -> {speedup:.2f}x")
+    # Heap-bound traffic must at minimum not get slower; in practice the
+    # slots/inlining work buys ~1.3-1.4x.
+    assert speedup >= 1.0
+
+
+def test_both_kernels_agree_on_the_churn_schedule():
+    """The benchmark is only meaningful if both kernels do the same work."""
+    def trace(kernel):
+        env = kernel.Environment()
+        log = []
+
+        def proc(pid):
+            for i in range(50):
+                yield env.timeout(0 if (pid + i) % 3 else 0.5)
+                log.append((env.now, pid, i))
+
+        for pid in range(5):
+            env.process(proc(pid))
+        env.run()
+        return env.now, log
+
+    assert trace(optimized) == trace(seedref)

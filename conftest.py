@@ -9,6 +9,17 @@ plain checkout as well.
 import os
 import sys
 
+import pytest
+
 _SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+_TESTS = os.path.join(os.path.dirname(os.path.abspath(__file__)), "tests")
+
+
+def pytest_collection_modifyitems(items):
+    """Everything under ``tests/`` is tier-1 (fast, gates every commit)."""
+    for item in items:
+        if str(item.fspath).startswith(_TESTS):
+            item.add_marker(pytest.mark.tier1)

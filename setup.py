@@ -1,4 +1,38 @@
-"""Setuptools shim so `python setup.py develop` works without the wheel package."""
-from setuptools import setup
+"""Setuptools configuration (kept ``python setup.py develop``-compatible).
 
-setup()
+The package lives under ``src/`` (``repro`` plus its subpackages); the
+metadata below declares that layout explicitly so wheels/sdists and plain
+``pip install -e .`` all pick up every subpackage — previously the shim
+relied on defaults and shipped nothing.
+"""
+
+import os
+
+from setuptools import find_packages, setup
+
+
+def _version() -> str:
+    scope = {}
+    path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "src", "repro", "_version.py")
+    with open(path, "r", encoding="utf-8") as handle:
+        exec(handle.read(), scope)  # noqa: S102 - trusted in-tree file
+    return scope["__version__"]
+
+
+setup(
+    name="repro-tfdarshan",
+    version=_version(),
+    description=("Simulation-based reproduction of tf-Darshan "
+                 "(I/O profiling of TensorFlow training), with an "
+                 "experiment-campaign layer for sweeping evaluation grids"),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.8",
+    install_requires=[
+        "numpy",
+    ],
+    extras_require={
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+)

@@ -1,0 +1,63 @@
+"""Experiment-campaign layer: declarative sweeps over the paper's runners.
+
+The paper's evaluation is a grid of training runs — platforms × thread
+counts × container formats × staging thresholds — that the seed repository
+could only launch one ``run_*`` call at a time.  ``repro.campaign`` turns
+such a grid into a first-class object:
+
+>>> from repro.campaign import SweepSpec, run_campaign
+>>> spec = SweepSpec(
+...     name="imagenet-threads",
+...     case="imagenet",
+...     base={"scale": 0.05, "batch_size": 256, "profile": "epoch"},
+...     grid={"threads": [1, 4, 28]},
+... )
+>>> result = run_campaign(spec)           # serial, uncached
+>>> xs, ys = result.series("threads", "posix_bandwidth")
+
+Jobs carry content-derived identities and seeds, execute through pluggable
+executors (serial, ``multiprocessing``; async/distributed are the next
+seams), results are content-hash cached on disk so re-running an unchanged
+grid is near-instant, and aggregation yields the table/figure shapes the
+benchmark harnesses consume.
+"""
+
+from repro.campaign.aggregate import CampaignResult
+from repro.campaign.cache import PHYSICS_VERSION, ResultCache, default_cache_dir
+from repro.campaign.executors import (
+    MultiprocessingExecutor,
+    SerialExecutor,
+    default_executor,
+)
+from repro.campaign.jobs import (
+    JobResult,
+    UnknownCaseError,
+    available_cases,
+    execute_job,
+    get_case,
+    register_case,
+)
+from repro.campaign.runner import run_campaign, run_grid
+from repro.campaign.spec import JobSpec, SpecError, SweepSpec, canonical_json
+
+__all__ = [
+    "CampaignResult",
+    "JobResult",
+    "JobSpec",
+    "MultiprocessingExecutor",
+    "PHYSICS_VERSION",
+    "ResultCache",
+    "SerialExecutor",
+    "SpecError",
+    "SweepSpec",
+    "UnknownCaseError",
+    "available_cases",
+    "canonical_json",
+    "default_cache_dir",
+    "default_executor",
+    "execute_job",
+    "get_case",
+    "register_case",
+    "run_campaign",
+    "run_grid",
+]

@@ -1,0 +1,120 @@
+"""Content-addressed on-disk cache of campaign job results.
+
+Every job result is stored under a key derived from *what the job
+computes*: the case name, its canonical parameters, its derived seed, and
+the simulation :data:`PHYSICS_VERSION`.  Re-running an unchanged grid is
+therefore served entirely from disk; changing any parameter, the sweep
+seed, or the simulated physics invalidates exactly the affected entries.
+
+The cache is deliberately dumb and robust: one JSON file per result,
+written atomically (temp file + ``os.replace``), and any unreadable or
+mismatched file is treated as a miss rather than an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.campaign.spec import JobSpec, canonical_json
+
+#: Version of the simulated physics.  Bump this when an intentional change
+#: alters observable simulation results (the golden-trace regression tests
+#: in ``tests/regression`` pin down what "observable" means); bumping it
+#: orphans every cached campaign result at once.
+PHYSICS_VERSION = "1"
+
+#: Default cache location, overridable per :class:`ResultCache` or via the
+#: ``REPRO_CAMPAIGN_CACHE`` environment variable.
+DEFAULT_CACHE_DIR = "~/.cache/repro-campaigns"
+
+
+def default_cache_dir() -> Path:
+    root = os.environ.get("REPRO_CAMPAIGN_CACHE", DEFAULT_CACHE_DIR)
+    return Path(root).expanduser()
+
+
+class ResultCache:
+    """Content-hash keyed store of job-result records."""
+
+    def __init__(self, root: Optional[os.PathLike] = None,
+                 physics_version: str = PHYSICS_VERSION):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.physics_version = physics_version
+        self.hits = 0
+        self.misses = 0
+
+    # -- keying ------------------------------------------------------------
+    def key(self, job: JobSpec) -> str:
+        payload = canonical_json({
+            "case": job.case,
+            "params": dict(job.params),
+            "repeat": job.repeat,
+            "seed": job.seed,
+            "physics": self.physics_version,
+        })
+        return hashlib.sha256(payload.encode()).hexdigest()[:40]
+
+    def path(self, job: JobSpec) -> Path:
+        key = self.key(job)
+        # Two-level fan-out keeps directories small for big campaigns.
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- access ------------------------------------------------------------
+    def get(self, job: JobSpec) -> Optional[Dict[str, Any]]:
+        """Return the cached result record for ``job`` or ``None``."""
+        path = self.path(job)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        # Defend against hash collisions and stale schema: the stored spec
+        # must round-trip to the same job content.
+        stored = record.get("job", {})
+        if (stored.get("case") != job.case
+                or stored.get("params") != dict(job.params)
+                or stored.get("seed") != job.seed):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, job: JobSpec, record: Dict[str, Any]) -> Path:
+        """Atomically persist ``record`` for ``job``; returns the path."""
+        path = self.path(job)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = dict(record)
+        payload.setdefault("job", job.to_record())
+        payload["physics"] = self.physics_version
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(tmp, path)
+        return path
+
+    # -- bookkeeping -------------------------------------------------------
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}

@@ -1,0 +1,103 @@
+"""Campaign orchestration: expand → cache-probe → execute → aggregate.
+
+:func:`run_campaign` is the single entry point the benchmarks, examples and
+tools use: it expands a :class:`~repro.campaign.spec.SweepSpec` into jobs,
+serves whatever it can from the content-hash cache, fans the rest out
+through the chosen executor, persists fresh results, and returns a
+:class:`~repro.campaign.aggregate.CampaignResult` in deterministic job
+order.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.campaign.aggregate import CampaignResult
+from repro.campaign.cache import ResultCache
+from repro.campaign.executors import SerialExecutor
+from repro.campaign.jobs import JobResult, execute_job
+from repro.campaign.spec import JobSpec, SweepSpec
+
+
+def run_campaign(spec: SweepSpec,
+                 executor: Optional[Any] = None,
+                 cache: Optional[ResultCache] = None,
+                 cache_dir: Optional[str] = None,
+                 progress: Optional[Callable[[str], None]] = None) -> CampaignResult:
+    """Run (or re-serve) every job of ``spec`` and aggregate the results.
+
+    Parameters
+    ----------
+    executor:
+        Anything with an order-preserving ``map(fn, jobs)``; defaults to
+        :class:`SerialExecutor`.  Pass a
+        :class:`~repro.campaign.executors.MultiprocessingExecutor` to fan
+        out across cores.
+    cache / cache_dir:
+        Results are read from and written to a
+        :class:`~repro.campaign.cache.ResultCache`.  ``cache`` wins over
+        ``cache_dir``; pass neither to run uncached (e.g. in determinism
+        tests), and note failed jobs are never cached.
+    progress:
+        Optional callable receiving human-readable status lines.
+    """
+    executor = executor or SerialExecutor()
+    if cache is None and cache_dir is not None:
+        cache = ResultCache(cache_dir)
+
+    say = progress or (lambda _line: None)
+    start = time.perf_counter()
+    jobs = spec.expand()
+    say(f"campaign {spec.name!r}: {len(jobs)} jobs expanded "
+        f"({spec.fingerprint()})")
+
+    results: List[Optional[JobResult]] = [None] * len(jobs)
+    pending: List[JobSpec] = []
+    pending_slots: List[int] = []
+    hits = 0
+    for slot, job in enumerate(jobs):
+        record = cache.get(job) if cache is not None else None
+        if record is not None and record.get("result"):
+            results[slot] = JobResult.from_record(record["result"], cached=True)
+            hits += 1
+        else:
+            pending.append(job)
+            pending_slots.append(slot)
+
+    if pending:
+        say(f"executing {len(pending)} jobs "
+            f"({hits} cache hits) via {getattr(executor, 'name', executor)}")
+        fresh = executor.map(execute_job, pending)
+        if len(fresh) != len(pending):
+            raise RuntimeError(
+                f"executor {executor!r} returned {len(fresh)} results for "
+                f"{len(pending)} jobs — the map() contract requires one "
+                f"result per job, in order")
+        for slot, job, result in zip(pending_slots, pending, fresh):
+            results[slot] = result
+            if cache is not None and result.ok:
+                cache.put(job, {"result": result.to_record()})
+    else:
+        say(f"all {len(jobs)} jobs served from cache")
+
+    campaign = CampaignResult(
+        spec=spec,
+        results=[result for result in results if result is not None],
+        cache_hits=hits,
+        cache_misses=len(pending),
+        wall_time=time.perf_counter() - start,
+        executor=getattr(executor, "name", type(executor).__name__),
+    )
+    say(campaign.summary())
+    return campaign
+
+
+def run_grid(case: str, name: Optional[str] = None,
+             base: Optional[Dict[str, Any]] = None,
+             grid: Optional[Dict[str, Any]] = None,
+             **kwargs: Any) -> CampaignResult:
+    """Convenience wrapper: build a :class:`SweepSpec` and run it."""
+    spec = SweepSpec(name=name or f"{case}-grid", case=case,
+                     base=dict(base or {}), grid=dict(grid or {}))
+    return run_campaign(spec, **kwargs)

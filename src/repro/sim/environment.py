@@ -1,14 +1,43 @@
-"""The simulation :class:`Environment`: event queue and virtual clock."""
+"""The simulation :class:`Environment`: event queues and virtual clock.
+
+The seed kernel kept a single binary heap of ``(time, priority, eid,
+event)`` tuples.  The optimized environment splits scheduling into two
+structures:
+
+* ``_queue`` — a binary heap of ``(time, key, event)`` for events in the
+  *future* (and for the rare URGENT events), where ``key`` folds the
+  priority and a monotonic sequence number into one integer
+  (``priority << 52 | seq``);
+* ``_imm`` — a FIFO deque of NORMAL-priority events scheduled for the
+  *current* timestamp.  Triggering an event (``succeed`` / ``fail`` /
+  ``trigger``) and zero-delay timeouts are the hottest operations in the
+  resource, store and bandwidth layers, and a deque append/popleft is O(1)
+  with no tuple comparisons.
+
+The merge rule in :meth:`step`/:meth:`run` preserves the seed order
+exactly.  Two invariants make it cheap:
+
+1. every entry in ``_imm`` was scheduled *at* the current time, and the
+   clock only advances when ``_imm`` is empty — so ``_imm`` always holds
+   events for ``now`` in FIFO (= ascending key) order;
+2. heap entries are never in the past, so the head of ``_imm`` loses only
+   to a heap entry at exactly ``now`` with a smaller key (an URGENT event
+   such as a process initializer or an interrupt, or a timeout whose float
+   fire-time collapsed onto ``now``).
+
+Hence one float comparison against the heap top decides almost every pop.
+"""
 
 from __future__ import annotations
 
-import heapq
-from itertools import count
+from collections import deque
+from heapq import heappop, heappush
 from typing import Any, Generator, Iterable, Optional, Union
 
 from repro.sim.errors import EmptySchedule, SimulationError, StopSimulation
 from repro.sim.events import (
     NORMAL,
+    PRIORITY_STRIDE,
     AllOf,
     AnyOf,
     Event,
@@ -21,17 +50,20 @@ class Environment:
     """Execution environment of a simulation.
 
     The environment owns the virtual clock (:attr:`now`, in **seconds**) and
-    the event queue.  All simulated components — storage devices, POSIX
+    the event queues.  All simulated components — storage devices, POSIX
     syscalls, the tf.data pipeline, the profiler — share one environment so
     their timestamps are mutually consistent, exactly like wall-clock
     timestamps shared between Darshan and the TensorFlow runtime in the
     paper.
     """
 
+    __slots__ = ("_now", "_queue", "_imm", "_eid", "_active_process")
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list = []
-        self._eid = count()
+        self._imm: deque = deque()
+        self._eid = 0
         self._active_process: Optional[Process] = None
 
     # -- clock -----------------------------------------------------------
@@ -69,13 +101,31 @@ class Environment:
     # -- scheduling --------------------------------------------------------
     def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
         """Schedule ``event`` to be processed after ``delay`` seconds."""
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._eid), event)
-        )
+        self._eid = eid = self._eid + 1
+        key = priority * PRIORITY_STRIDE + eid
+        if delay == 0.0 and priority == NORMAL:
+            event._key = key
+            self._imm.append(event)
+        else:
+            heappush(self._queue, (self._now + delay, key, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event (``inf`` if the queue is empty)."""
+        if self._imm:
+            return self._now
         return self._queue[0][0] if self._queue else float("inf")
+
+    def _pop(self) -> Event:
+        """Remove and return the next event in seed-scheduler order."""
+        imm = self._imm
+        queue = self._queue
+        if imm and (not queue or queue[0][0] > self._now
+                    or queue[0][1] > imm[0]._key):
+            return imm.popleft()
+        if not queue:
+            raise EmptySchedule("no scheduled events")
+        self._now, _, event = heappop(queue)
+        return event
 
     def step(self) -> None:
         """Process the next scheduled event.
@@ -84,17 +134,14 @@ class Environment:
         the exception of any failed event that nobody waited on (mirroring
         SimPy's behaviour so programming errors inside processes surface).
         """
-        if not self._queue:
-            raise EmptySchedule("no scheduled events")
-        self._now, _, _, event = heapq.heappop(self._queue)
+        event = self._pop()
 
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
 
-        if not event._ok and not event.defused:
-            exc = event._value
-            raise exc
+        if event._ok is False and not event.defused:
+            raise event._value
 
     def run(self, until: Union[None, float, Event] = None) -> Any:
         """Run the simulation.
@@ -123,13 +170,36 @@ class Environment:
                 stop.callbacks.append(self._stop_on)
                 self.schedule(stop, delay=at - self._now)
 
+        # Inlined event loop: identical to repeated step() calls, but with
+        # the queue bookkeeping in local variables.  This loop dispatches
+        # every event of every simulation, so each saved attribute lookup
+        # is worth its weight.
+        queue = self._queue
+        imm = self._imm
+        pop_imm = imm.popleft
+        now = self._now
         try:
-            while self._queue:
-                self.step()
+            while True:
+                if imm and (not queue or queue[0][0] > now
+                            or queue[0][1] > imm[0]._key):
+                    event = pop_imm()
+                elif queue:
+                    entry = heappop(queue)
+                    self._now = now = entry[0]
+                    event = entry[2]
+                else:
+                    break
+                callbacks = event.callbacks
+                event.callbacks = None
+                if len(callbacks) == 1:
+                    callbacks[0](event)
+                else:
+                    for callback in callbacks:
+                        callback(event)
+                if event._ok is False and not event.defused:
+                    raise event._value
         except StopSimulation as stop:
             return stop.value
-        except EmptySchedule:  # pragma: no cover - defensive
-            pass
 
         if target_event is not None and not target_event.triggered:
             raise SimulationError(

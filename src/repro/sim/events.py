@@ -7,10 +7,34 @@ event it is waiting on fires.  Only the features needed by the tf-Darshan
 reproduction are implemented, but they are implemented completely: event
 success/failure, timeouts, process completion values, interrupts, and
 ``AllOf`` / ``AnyOf`` condition events.
+
+This is the *optimized* kernel (the seed implementation is preserved in
+:mod:`repro.sim.seedref`).  Every simulated byte of every campaign job
+flows through these classes, so they are written for the interpreter
+rather than for elegance:
+
+* every event class declares ``__slots__`` — no per-instance ``__dict__``;
+* constructors of hot event types (:class:`Timeout`, the internal process
+  initializer) assign all slots inline instead of chaining ``__init__``
+  calls, and schedule themselves directly onto the environment's queues;
+* events that fire *now* at NORMAL priority are appended to a FIFO deque
+  (O(1)) instead of the binary heap (O(log n)) — see
+  :class:`~repro.sim.environment.Environment` for the merge rule that keeps
+  the combined order identical to the seed scheduler;
+* :class:`Process` caches the generator's bound ``send``/``throw`` and
+  fast-paths the overwhelmingly common case of a process yielding one
+  pending event.
+
+Scheduling order is encoded in a single integer sort key,
+``priority << 52 | sequence``: the sequence number increases monotonically
+per environment, so among events scheduled for the same simulated time
+URGENT events fire before NORMAL events and ties within a priority are
+FIFO — exactly the ``(time, priority, eid)`` order of the seed kernel.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.sim.errors import Interrupt, SimulationError
@@ -23,6 +47,11 @@ URGENT = 0
 #: Priority of normal events.
 NORMAL = 1
 
+#: Offset folding the priority into the integer sort key.  Sequence numbers
+#: stay far below 2**52 (at ~10^6 events/s that is >100 years of simulated
+#: churn), so ``URGENT`` keys always sort before ``NORMAL`` keys.
+PRIORITY_STRIDE = 1 << 52
+
 
 class Event:
     """An event that may happen at some point in simulated time.
@@ -31,6 +60,8 @@ class Event:
     scheduled with a value (or an exception), and *processed* once its
     callbacks have run.  Processes wait for events by yielding them.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused", "_key")
 
     def __init__(self, env: "Environment"):  # noqa: F821 - forward ref
         self.env = env
@@ -55,7 +86,7 @@ class Event:
     @property
     def ok(self) -> bool:
         """``True`` if the event succeeded.  Only valid once triggered."""
-        if not self.triggered:
+        if self._value is PENDING:
             raise SimulationError("event has not been triggered yet")
         return bool(self._ok)
 
@@ -72,31 +103,40 @@ class Event:
     # -- triggering ----------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        env = self.env
+        env._eid = eid = env._eid + 1
+        self._key = PRIORITY_STRIDE + eid
+        env._imm.append(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event as failed with ``exception``."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() expects an exception instance")
         self._ok = False
         self._value = exception
-        self.env.schedule(self)
+        env = self.env
+        env._eid = eid = env._eid + 1
+        self._key = PRIORITY_STRIDE + eid
+        env._imm.append(self)
         return self
 
     def trigger(self, event: "Event") -> None:
         """Trigger this event with the state of another (used by conditions)."""
-        if self.triggered:
+        if self._value is not PENDING:
             return
         self._ok = event._ok
         self._value = event._value
-        self.env.schedule(self)
+        env = self.env
+        env._eid = eid = env._eid + 1
+        self._key = PRIORITY_STRIDE + eid
+        env._imm.append(self)
 
     # -- chaining ------------------------------------------------------
     def __and__(self, other: "Event") -> "AllOf":
@@ -114,25 +154,42 @@ class Event:
 class Timeout(Event):
     """An event that fires after ``delay`` units of simulated time."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env, delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__ + Environment.schedule: a Timeout is
+        # created for every simulated latency in every job of a campaign.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, delay=delay)
+        self._ok = True
+        self.defused = False
+        self.delay = delay
+        env._eid = eid = env._eid + 1
+        if delay == 0.0:
+            self._key = PRIORITY_STRIDE + eid
+            env._imm.append(self)
+        else:
+            heappush(env._queue, (env._now + delay, PRIORITY_STRIDE + eid, self))
 
 
 class Initialize(Event):
     """Internal event used to start a freshly created process."""
 
+    __slots__ = ()
+
     def __init__(self, env, process: "Process"):
-        super().__init__(env)
-        self.callbacks.append(process._resume)
-        self._ok = True
+        self.env = env
+        self.callbacks = [process._resume]
         self._value = None
-        env.schedule(self, priority=URGENT)
+        self._ok = True
+        self.defused = False
+        # URGENT events always go through the heap: the immediate deque is
+        # reserved for NORMAL-priority events so it stays FIFO-sorted.
+        env._eid = eid = env._eid + 1
+        heappush(env._queue, (env._now, eid, self))
 
 
 class Process(Event):
@@ -144,11 +201,19 @@ class Process(Event):
     inside the generator.
     """
 
+    __slots__ = ("_generator", "_target", "_send", "_throw")
+
     def __init__(self, env, generator: Generator):
         if not hasattr(generator, "throw"):
             raise TypeError("Process() requires a generator")
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self.defused = False
         self._generator = generator
+        self._send = generator.send
+        self._throw = generator.throw
         self._target: Optional[Event] = Initialize(env, self)
 
     @property
@@ -163,7 +228,7 @@ class Process(Event):
 
     def interrupt(self, cause: Any = None) -> None:
         """Interrupt the process by raising :class:`Interrupt` inside it."""
-        if not self.is_alive:
+        if self._value is not PENDING:
             raise SimulationError("cannot interrupt a terminated process")
         if self is self.env.active_process:
             raise SimulationError("a process cannot interrupt itself")
@@ -183,47 +248,56 @@ class Process(Event):
 
     # -- generator stepping ---------------------------------------------
     def _resume(self, event: Event) -> None:
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
+        send = self._send
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = send(event._value)
                 else:
                     # The exception was delivered; mark it as handled.
                     event.defused = True
-                    exc = event._value
-                    next_event = self._generator.throw(exc)
+                    next_event = self._throw(event._value)
             except StopIteration as stop:
                 self._target = None
-                self.env._active_process = None
+                env._active_process = None
                 self.succeed(stop.value)
                 return
             except BaseException as exc:
                 self._target = None
-                self.env._active_process = None
+                env._active_process = None
                 self.fail(exc)
                 return
 
-            if not isinstance(next_event, Event):
+            # The fast path assumes an Event was yielded and reads its
+            # callback list directly; anything else (int, None, a plain
+            # generator...) lacks the slot and fails the process exactly
+            # like the seed kernel's isinstance() check did.
+            try:
+                cbs = next_event.callbacks
+            except AttributeError:
                 self._target = None
-                self.env._active_process = None
+                env._active_process = None
                 self.fail(SimulationError(
                     f"process yielded a non-event: {next_event!r}"))
                 return
 
-            if next_event.callbacks is not None:
+            if cbs is not None:
                 # Event not yet processed: wait for it.
-                next_event.callbacks.append(self._resume)
+                cbs.append(self._resume)
                 self._target = next_event
                 break
             # Event already processed: feed its value back in immediately.
             event = next_event
 
-        self.env._active_process = None
+        env._active_process = None
 
 
 class Condition(Event):
     """Base class for events composed of several sub-events."""
+
+    __slots__ = ("events", "_completed", "_fired")
 
     def __init__(self, env, events: Iterable[Event]):
         super().__init__(env)
@@ -268,12 +342,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Condition that fires once *all* sub-events have fired."""
 
+    __slots__ = ()
+
     def _evaluate(self) -> bool:
         return self._completed >= len(self.events)
 
 
 class AnyOf(Condition):
     """Condition that fires once *any* sub-event has fired."""
+
+    __slots__ = ()
 
     def _evaluate(self) -> bool:
         return self._completed >= 1

@@ -1,0 +1,352 @@
+"""Frozen snapshot of the seed simulation kernel (reference implementation).
+
+This module is a verbatim merge of the original ``repro.sim.events`` and
+``repro.sim.environment`` as they shipped in the seed revision, kept as a
+*behavioural reference*:
+
+* the differential property tests in ``tests/sim/test_properties.py`` run
+  randomized process graphs on both kernels and require identical traces;
+* the micro-benchmark ``benchmarks/test_kernel_throughput.py`` measures the
+  optimized kernel's event throughput against this baseline.
+
+Do **not** optimize or otherwise modify this module — its whole value is
+that it does not change when the production kernel does.  It shares the
+exception types with the live kernel so the two can be compared with the
+same assertions.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Iterable, List, Optional, Union
+
+from repro.sim.errors import (
+    EmptySchedule,
+    Interrupt,
+    SimulationError,
+    StopSimulation,
+)
+
+#: Sentinel used for the value of an event that has not been triggered yet.
+PENDING = object()
+
+#: Priority of internally generated "initialize process" events.
+URGENT = 0
+#: Priority of normal events.
+NORMAL = 1
+
+
+class Event:
+    """An event that may happen at some point in simulated time."""
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        self.defused = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event has not been triggered yet")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        if self._value is PENDING:
+            raise SimulationError("value of untriggered event is not available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() expects an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        if self.triggered:
+            return
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after ``delay`` units of simulated time."""
+
+    def __init__(self, env, delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    def __init__(self, env, process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """A simulation process wrapping a Python generator."""
+
+    def __init__(self, env, generator: Generator):
+        if not hasattr(generator, "throw"):
+            raise TypeError("Process() requires a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = Initialize(env, self)
+
+    @property
+    def target(self) -> Optional[Event]:
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a terminated process")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event.defused = True
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        event.callbacks = [self._resume]
+        self.env.schedule(event, priority=URGENT)
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event.defused = True
+                    exc = event._value
+                    next_event = self._generator.throw(exc)
+            except StopIteration as stop:
+                self._target = None
+                self.env._active_process = None
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self._target = None
+                self.env._active_process = None
+                self.fail(exc)
+                return
+
+            if not isinstance(next_event, Event):
+                self._target = None
+                self.env._active_process = None
+                self.fail(SimulationError(
+                    f"process yielded a non-event: {next_event!r}"))
+                return
+
+            if next_event.callbacks is not None:
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            event = next_event
+
+        self.env._active_process = None
+
+
+class Condition(Event):
+    """Base class for events composed of several sub-events."""
+
+    def __init__(self, env, events: Iterable[Event]):
+        super().__init__(env)
+        self.events: List[Event] = list(events)
+        self._completed = 0
+        self._fired: List[Event] = []
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+        for event in self.events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _evaluate(self) -> bool:
+        raise NotImplementedError
+
+    def _collect_values(self) -> dict:
+        return {
+            event: event._value
+            for event in self.events
+            if event in self._fired and event._ok
+        }
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self._fired.append(event)
+        self._completed += 1
+        if self._evaluate():
+            self.succeed(self._collect_values())
+
+
+class AllOf(Condition):
+    """Condition that fires once *all* sub-events have fired."""
+
+    def _evaluate(self) -> bool:
+        return self._completed >= len(self.events)
+
+
+class AnyOf(Condition):
+    """Condition that fires once *any* sub-event has fired."""
+
+    def _evaluate(self) -> bool:
+        return self._completed >= 1
+
+
+class Environment:
+    """The seed execution environment: binary heap only, 4-tuple entries."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def peek(self) -> float:
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        if not self._queue:
+            raise EmptySchedule("no scheduled events")
+        self._now, _, _, event = heapq.heappop(self._queue)
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event.defused:
+            exc = event._value
+            raise exc
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        target_event: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                target_event = until
+                if target_event.callbacks is None:
+                    return target_event.value
+                target_event.callbacks.append(self._stop_on)
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(
+                        f"until ({at}) must not be before the current time ({self._now})"
+                    )
+                stop = Event(self)
+                stop._ok = True
+                stop._value = None
+                stop.callbacks.append(self._stop_on)
+                self.schedule(stop, delay=at - self._now)
+
+        try:
+            while self._queue:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        except EmptySchedule:  # pragma: no cover - defensive
+            pass
+
+        if target_event is not None and not target_event.triggered:
+            raise SimulationError(
+                "the event queue drained before the target event was triggered"
+            )
+        return None
+
+    @staticmethod
+    def _stop_on(event: Event) -> None:
+        if event._ok:
+            raise StopSimulation(event._value)
+        event.defused = True
+        raise event._value

@@ -16,17 +16,25 @@ from repro.workloads.pipelines import (
 from repro.workloads.platforms import Platform, greendog, kebnekaise
 from repro.workloads.runner import (
     TrainingRunResult,
+    imagenet_threads_spec,
+    overhead_grid_spec,
     run_checkpoint_case,
     run_imagenet_case,
     run_malware_case,
     run_overhead_case,
     run_stream_validation,
+    staging_threshold_spec,
+    training_metrics,
 )
 
 __all__ = [
     "Platform",
     "SyntheticDataset",
     "TrainingRunResult",
+    "imagenet_threads_spec",
+    "overhead_grid_spec",
+    "staging_threshold_spec",
+    "training_metrics",
     "build_imagenet_dataset",
     "build_imagenet_pipeline",
     "build_malware_dataset",

@@ -324,3 +324,150 @@ def run_checkpoint_case(
     return run_imagenet_case(scale=scale, steps=steps, batch_size=batch_size,
                              threads=2, profile="epoch",
                              checkpoint_every=checkpoint_every, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Campaign case adapters
+# ---------------------------------------------------------------------------
+#
+# The runners above launch one configuration at a time; the campaign layer
+# (``repro.campaign``) sweeps whole grids of them.  Each adapter binds a
+# case name to a runner and flattens its rich result object into the
+# JSON-able metrics dict that executors ship across process boundaries and
+# the result cache persists.
+
+from repro.campaign.jobs import register_case  # noqa: E402
+
+
+def _scalar(value):
+    """Coerce numpy scalars to plain Python for JSON round-tripping."""
+    if hasattr(value, "item"):
+        return value.item()
+    return value
+
+
+def training_metrics(result: TrainingRunResult) -> Dict[str, object]:
+    """Flatten a :class:`TrainingRunResult` into campaign metrics."""
+    metrics: Dict[str, object] = {
+        "steps": int(result.steps),
+        "fit_time": float(result.fit_time),
+        "end_of_fit_time": float(result.end_of_fit_time),
+        "bytes_read": int(result.bytes_read),
+        "ingestion_bandwidth": float(result.ingestion_bandwidth),
+        "posix_bandwidth": float(result.posix_bandwidth),
+        "input_percent": float(result.input_percent),
+        "checkpoint_fwrites": int(result.checkpoint_fwrites),
+        "stdio_writes": int(result.stdio_writes),
+    }
+    profile = result.io_profile
+    if profile is not None:
+        metrics.update({
+            "posix_opens": int(profile.posix_opens),
+            "posix_reads": int(profile.posix_reads),
+            "posix_bytes_read": int(profile.posix_bytes_read),
+            "zero_byte_reads": int(profile.zero_byte_reads),
+            "read_size_histogram": {key: int(count) for key, count
+                                    in profile.read_size_histogram.items()},
+            "random_fraction": float(profile.access_pattern.random_fraction),
+            "sequential_fraction":
+                float(profile.access_pattern.sequential_fraction),
+        })
+    if result.staging is not None:
+        metrics.update({
+            "staged_bytes": int(result.staging.staged_bytes),
+            "staged_files": int(result.staging.file_count),
+            "staging_elapsed": float(result.staging.elapsed),
+        })
+    for key in ("dataset_files", "dataset_bytes", "staging_threshold", "scale"):
+        if key in result.config and result.config[key] is not None:
+            metrics[key] = _scalar(result.config[key])
+    return metrics
+
+
+@register_case("imagenet")
+def _imagenet_case(params: Dict[str, object], seed: int) -> Dict[str, object]:
+    """ImageNet training on Kebnekaise (paper Sec. V-A) as a campaign case."""
+    return training_metrics(run_imagenet_case(seed=seed, **params))
+
+
+@register_case("malware")
+def _malware_case(params: Dict[str, object], seed: int) -> Dict[str, object]:
+    """Malware training on Greendog (paper Sec. V-B) as a campaign case."""
+    return training_metrics(run_malware_case(seed=seed, **params))
+
+
+@register_case("stream")
+def _stream_case(params: Dict[str, object], seed: int) -> Dict[str, object]:
+    """STREAM tool-validation run (Fig. 3/4) as a campaign case."""
+    result = run_stream_validation(seed=seed, **params)
+    return {
+        "steps": int(result.steps),
+        "elapsed": float(result.elapsed),
+        "total_bytes": int(result.total_bytes),
+        "overall_bandwidth": float(result.overall_bandwidth),
+        "tfdarshan_bandwidth": float(result.mean_tfdarshan_bandwidth),
+        "windows": len(result.windows),
+    }
+
+
+@register_case("overhead")
+def _overhead_case(params: Dict[str, object], seed: int) -> Dict[str, object]:
+    """One bar of Fig. 5 (elapsed time under a profiler mode)."""
+    return {"elapsed": float(run_overhead_case(seed=seed, **params))}
+
+
+# ---------------------------------------------------------------------------
+# Canonical sweep specs for the paper's grids
+# ---------------------------------------------------------------------------
+
+def imagenet_threads_spec(threads: Sequence[int] = (1, 28),
+                          scale: float = 0.05, batch_size: int = 256,
+                          seed: int = 1) -> "SweepSpec":
+    """The Fig. 7 grid: the ImageNet profile swept over thread counts."""
+    from repro.campaign import SweepSpec
+
+    return SweepSpec(
+        name="fig7-imagenet-threads",
+        case="imagenet",
+        base={"scale": scale, "batch_size": batch_size, "profile": "epoch"},
+        grid={"threads": list(threads)},
+        seed=seed,
+        seed_mode="shared",
+    )
+
+
+def staging_threshold_spec(thresholds: Sequence[int],
+                           scale: float = 0.05, batch_size: int = 32,
+                           seed: int = 1) -> "SweepSpec":
+    """The ablation-A3 grid: malware runs swept over staging thresholds.
+
+    ``0`` means "no staging" (the naive baseline) — the runner treats a
+    falsy threshold as disabled, so the whole ablation is one grid.
+    """
+    from repro.campaign import SweepSpec
+
+    return SweepSpec(
+        name="ablation-staging-threshold",
+        case="malware",
+        base={"scale": scale, "batch_size": batch_size, "threads": 1,
+              "profile": "epoch"},
+        grid={"staging_threshold": list(thresholds)},
+        seed=seed,
+        seed_mode="shared",
+    )
+
+
+def overhead_grid_spec(cases: Sequence[str], profilers: Sequence[str],
+                       steps: int = 10, batch_size: int = 128,
+                       seed: int = 1) -> "SweepSpec":
+    """The Fig. 5 grid: every case × profiler mode, including baselines."""
+    from repro.campaign import SweepSpec
+
+    return SweepSpec(
+        name="fig5-overhead",
+        case="overhead",
+        base={"steps": steps, "batch_size": batch_size},
+        grid={"case": list(cases), "profiler": list(profilers)},
+        seed=seed,
+        seed_mode="shared",
+    )

@@ -1,0 +1,95 @@
+"""Unit tests for the content-hash result cache."""
+
+import json
+
+import pytest
+
+from repro.campaign import ResultCache, SweepSpec, run_campaign
+from repro.campaign.executors import SerialExecutor
+
+
+def _spec(**overrides):
+    kwargs = dict(name="cache-spec", case="synthetic",
+                  base={"rate": 150.0},
+                  grid={"workers": [1, 2], "tasks": [4, 8]})
+    kwargs.update(overrides)
+    return SweepSpec(**kwargs)
+
+
+def _job(spec=None):
+    return (spec or _spec()).expand()[0]
+
+
+def test_put_get_round_trip(tmp_path):
+    cache = ResultCache(tmp_path)
+    job = _job()
+    assert cache.get(job) is None
+    cache.put(job, {"result": {"job_id": job.job_id, "case": job.case,
+                               "params": dict(job.params), "seed": job.seed,
+                               "metrics": {"makespan": 1.5}}})
+    record = cache.get(job)
+    assert record is not None
+    assert record["result"]["metrics"] == {"makespan": 1.5}
+    assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+
+def test_key_depends_on_params_seed_and_physics(tmp_path):
+    cache = ResultCache(tmp_path)
+    jobs = _spec().expand()
+    assert cache.key(jobs[0]) != cache.key(jobs[1])
+    reseeded = _spec(seed=321).expand()[0]
+    assert cache.key(jobs[0]) != cache.key(reseeded)
+    new_physics = ResultCache(tmp_path, physics_version="next")
+    assert cache.key(jobs[0]) != new_physics.key(jobs[0])
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    job = _job()
+    path = cache.put(job, {"result": {"job_id": job.job_id, "case": job.case,
+                                      "params": dict(job.params),
+                                      "seed": job.seed, "metrics": {}}})
+    path.write_text("{ not json", encoding="utf-8")
+    assert cache.get(job) is None
+    assert cache.misses >= 1
+
+
+def test_mismatched_entry_is_a_miss(tmp_path):
+    """A record whose stored job differs from the probe is rejected."""
+    cache = ResultCache(tmp_path)
+    job = _job()
+    path = cache.put(job, {"result": {"job_id": job.job_id, "case": job.case,
+                                      "params": dict(job.params),
+                                      "seed": job.seed, "metrics": {}}})
+    record = json.loads(path.read_text(encoding="utf-8"))
+    record["job"]["params"] = {"tampered": True}
+    path.write_text(json.dumps(record), encoding="utf-8")
+    assert cache.get(job) is None
+
+
+def test_second_campaign_run_served_entirely_from_cache(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = _spec()
+    first = run_campaign(spec, executor=SerialExecutor(), cache=cache)
+    assert (first.cache_hits, first.cache_misses) == (0, 4)
+    second = run_campaign(spec, executor=SerialExecutor(), cache=cache)
+    assert (second.cache_hits, second.cache_misses) == (4, 0)
+    assert all(result.cached for result in second)
+    assert second.aggregate_fingerprint() == first.aggregate_fingerprint()
+
+
+def test_changed_grid_point_recomputes_only_that_job(tmp_path):
+    cache = ResultCache(tmp_path)
+    run_campaign(_spec(), cache=cache)
+    widened = _spec(grid={"workers": [1, 2], "tasks": [4, 8, 16]})
+    result = run_campaign(widened, cache=cache)
+    assert result.cache_hits == 4
+    assert result.cache_misses == 2
+
+
+def test_clear_and_len(tmp_path):
+    cache = ResultCache(tmp_path)
+    run_campaign(_spec(), cache=cache)
+    assert len(cache) == 4
+    assert cache.clear() == 4
+    assert len(cache) == 0

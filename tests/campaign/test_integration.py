@@ -1,0 +1,91 @@
+"""End-to-end campaign runs over the real (scaled-down) paper workloads.
+
+These are the acceptance tests of the campaign layer: a 12-job grid of
+genuine ImageNet/malware training simulations executes through both
+executors with identical aggregates, and an unchanged grid re-run is
+served from cache.
+"""
+
+import pytest
+
+from repro.campaign import (
+    MultiprocessingExecutor,
+    ResultCache,
+    SerialExecutor,
+    SweepSpec,
+    run_campaign,
+)
+
+#: Tiny but real: every job builds a platform, lays out the dataset, runs
+#: the pipeline and profiles it — just at doll-house scale.
+IMAGENET_SPEC = SweepSpec(
+    name="it-imagenet",
+    case="imagenet",
+    base={"scale": 0.004, "steps": 2, "batch_size": 32, "profile": "epoch"},
+    grid={"threads": [1, 2, 4]},
+    seed=11,
+)
+
+MALWARE_SPEC = SweepSpec(
+    name="it-malware",
+    case="malware",
+    base={"scale": 0.02, "steps": 2, "batch_size": 16, "profile": "epoch"},
+    grid={"threads": [1, 2, 4], "staging_threshold": [0, 2097152, 8388608]},
+    seed=11,
+)
+
+
+def test_twelve_job_mixed_grid_serial_vs_parallel():
+    """>=12 real-simulation jobs: serial and multiprocessing agree exactly."""
+    specs = [IMAGENET_SPEC, MALWARE_SPEC]
+    assert sum(spec.job_count for spec in specs) == 12
+
+    serial = [run_campaign(spec, executor=SerialExecutor()) for spec in specs]
+    parallel = [run_campaign(spec,
+                             executor=MultiprocessingExecutor(processes=4))
+                for spec in specs]
+    for serial_result, parallel_result in zip(serial, parallel):
+        assert serial_result.ok, serial_result.failures
+        assert parallel_result.ok, parallel_result.failures
+        assert serial_result.aggregate_fingerprint() == \
+            parallel_result.aggregate_fingerprint()
+
+    # The sweep reproduces the paper's qualitative physics even at tiny
+    # scale: more input threads never lower Lustre ingest bandwidth.
+    xs, ys = serial[0].series("threads", "posix_bandwidth")
+    assert xs == [1, 2, 4]
+    assert ys[0] < ys[-1]
+
+
+def test_unchanged_grid_rerun_is_served_from_cache(tmp_path):
+    cache = ResultCache(tmp_path)
+    first = run_campaign(IMAGENET_SPEC, executor=SerialExecutor(), cache=cache)
+    assert (first.cache_hits, first.cache_misses) == (0, 3)
+
+    second = run_campaign(IMAGENET_SPEC, executor=SerialExecutor(), cache=cache)
+    assert (second.cache_hits, second.cache_misses) == (3, 0)
+    assert all(result.cached for result in second)
+    assert second.aggregate_fingerprint() == first.aggregate_fingerprint()
+    # Cache-served reruns skip the simulation entirely: orders of magnitude
+    # faster than the first pass, without pinning exact wall times.
+    assert second.wall_time < first.wall_time
+
+
+def test_campaign_metrics_expose_profile_counters():
+    result = run_campaign(IMAGENET_SPEC, executor=SerialExecutor())
+    for job in result:
+        metrics = job.metrics
+        # The Fig. 7/8 signatures survive the flattening into metrics.
+        assert metrics["posix_reads"] == 2 * metrics["posix_opens"]
+        assert metrics["zero_byte_reads"] == metrics["posix_opens"]
+        assert metrics["bytes_read"] > 0
+        assert 0.0 <= metrics["random_fraction"] <= 1.0
+
+
+def test_staging_threshold_axis_changes_staged_bytes():
+    result = run_campaign(MALWARE_SPEC, executor=MultiprocessingExecutor())
+    assert result.ok, result.failures
+    naive = result.one({"threads": 1, "staging_threshold": 0})
+    staged = result.one({"threads": 1, "staging_threshold": 8388608})
+    assert "staged_bytes" not in naive.metrics
+    assert staged.metrics["staged_bytes"] > 0

@@ -1,0 +1,123 @@
+"""Unit tests for sweep-spec expansion and job identity."""
+
+import pytest
+
+from repro.campaign import SpecError, SweepSpec
+from repro.campaign.spec import JobSpec
+
+
+def _spec(**overrides):
+    kwargs = dict(name="s", case="synthetic",
+                  base={"rate": 100.0},
+                  grid={"workers": [1, 2], "tasks": [5, 10, 20]})
+    kwargs.update(overrides)
+    return SweepSpec(**kwargs)
+
+
+def test_expansion_covers_full_cartesian_product():
+    jobs = _spec().expand()
+    assert len(jobs) == 6
+    combos = {(job.params["workers"], job.params["tasks"]) for job in jobs}
+    assert combos == {(w, t) for w in (1, 2) for t in (5, 10, 20)}
+    # Base parameters are merged into every job.
+    assert all(job.params["rate"] == 100.0 for job in jobs)
+
+
+def test_expansion_is_deterministic_and_ordered():
+    first = _spec().expand()
+    second = _spec().expand()
+    assert [job.job_id for job in first] == [job.job_id for job in second]
+    assert [job.index for job in first] == list(range(6))
+    # Axes iterate in sorted-name order ("tasks" before "workers"), so the
+    # later-sorted axis varies fastest.
+    assert [job.params["tasks"] for job in first] == [5, 5, 10, 10, 20, 20]
+    assert [job.params["workers"] for job in first] == [1, 2] * 3
+
+
+def test_job_identity_is_content_derived_not_positional():
+    forward = _spec().expand()
+    reordered = _spec(grid={"workers": [2, 1], "tasks": [20, 10, 5]}).expand()
+    assert {job.fingerprint for job in forward} == \
+        {job.fingerprint for job in reordered}
+    assert {(job.fingerprint, job.seed) for job in forward} == \
+        {(job.fingerprint, job.seed) for job in reordered}
+
+
+def test_per_job_seeds_are_distinct_and_stable():
+    jobs = _spec().expand()
+    seeds = [job.seed for job in jobs]
+    assert len(set(seeds)) == len(seeds)
+    assert seeds == [job.seed for job in _spec().expand()]
+    # A different sweep seed re-seeds every job.
+    other = _spec(seed=999).expand()
+    assert all(a.seed != b.seed for a, b in zip(jobs, other))
+
+
+def test_shared_seed_mode_fixes_physics_across_the_grid():
+    """The paper's fixed-workload protocol: differential grids (overhead,
+    speedup, staging gain) compare runs that differ only in the swept
+    parameter, so every job gets the sweep seed verbatim."""
+    jobs = _spec(seed_mode="shared", seed=77).expand()
+    assert {job.seed for job in jobs} == {77}
+    # Repeats still get distinct (but per-repeat-constant) seeds.
+    repeated = _spec(seed_mode="shared", seed=77, repeats=2).expand()
+    first, second = repeated[:6], repeated[6:]
+    assert len({job.seed for job in first}) == 1
+    assert len({job.seed for job in second}) == 1
+    assert first[0].seed != second[0].seed
+    # And the mode is part of the sweep identity.
+    assert _spec(seed_mode="shared").fingerprint() != _spec().fingerprint()
+    with pytest.raises(SpecError, match="seed_mode"):
+        _spec(seed_mode="bogus")
+
+
+def test_repeats_replicate_grid_with_fresh_seeds():
+    spec = _spec(repeats=2)
+    jobs = spec.expand()
+    assert len(jobs) == 12
+    assert spec.job_count == 12
+    first, second = jobs[:6], jobs[6:]
+    assert [j.params for j in first] == [j.params for j in second]
+    assert all(a.seed != b.seed for a, b in zip(first, second))
+
+
+def test_empty_grid_yields_single_job():
+    spec = SweepSpec(name="one", case="synthetic", base={"tasks": 3}, grid={})
+    jobs = spec.expand()
+    assert len(jobs) == 1
+    assert jobs[0].params == {"tasks": 3}
+
+
+def test_base_grid_collision_rejected():
+    with pytest.raises(SpecError, match="both base and grid"):
+        _spec(base={"workers": 1}, grid={"workers": [1, 2]})
+
+
+def test_non_scalar_parameters_rejected():
+    with pytest.raises(SpecError, match="JSON scalar"):
+        _spec(base={"rate": [1, 2]})
+    with pytest.raises(SpecError, match="JSON scalar"):
+        _spec(grid={"workers": [object()]})
+
+
+def test_empty_axis_and_bad_axis_type_rejected():
+    with pytest.raises(SpecError, match="is empty"):
+        _spec(grid={"workers": []})
+    with pytest.raises(SpecError, match="list/tuple/range"):
+        _spec(grid={"workers": "12"})
+
+
+def test_spec_fingerprint_tracks_content():
+    a, b = _spec(), _spec()
+    assert a.fingerprint() == b.fingerprint()
+    assert a.fingerprint() != _spec(seed=999).fingerprint()
+    assert a.fingerprint() != _spec(grid={"workers": [1, 2],
+                                          "tasks": [5, 10]}).fingerprint()
+
+
+def test_jobspec_record_round_trip():
+    job = _spec().expand()[3]
+    clone = JobSpec.from_record(job.to_record())
+    assert clone == job
+    assert clone.fingerprint == job.fingerprint
+    assert clone.job_id == job.job_id

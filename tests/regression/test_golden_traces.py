@@ -1,0 +1,111 @@
+"""Golden-trace regression tests: the simulated physics must not drift.
+
+Each test runs one small end-to-end workload with a fixed seed and asserts
+the key profile counters against values captured from the seed revision of
+the simulation kernel.  The counters pin down the *physics* of the
+simulation — how many bytes moved, how many POSIX calls were issued, the
+shape of the read-size histogram — so kernel refactors (scheduling
+structure, event types, fast paths) cannot silently change observable
+behaviour: a legitimate physics change must update these numbers in the
+same commit that explains why.
+
+The float times are asserted with a tight relative tolerance rather than
+exact equality so the goldens stay robust to benign float-summation order
+differences inside aggregation (the event order itself is pinned by the
+integer counters and by the differential tests in ``tests/sim``).
+"""
+
+import math
+
+import pytest
+
+from repro.workloads import run_imagenet_case, run_malware_case
+
+GOLDEN_IMAGENET = {
+    "steps": 4,
+    "fit_time": 4.134966509,
+    "bytes_read": 23_619_456,
+    "posix_opens": 254,
+    "posix_reads": 508,
+    "posix_bytes_read": 23_420_183,
+    "zero_byte_reads": 254,
+    "posix_seeks": 0,
+    "posix_stats": 0,
+    "read_hist": {"0_100": 254, "10K_100K": 169, "100K_1M": 85},
+    "checkpoint_fwrites": 296,
+    "stdio_writes": 296,
+}
+
+GOLDEN_MALWARE = {
+    "steps": 4,
+    "fit_time": 6.732945337,
+    "bytes_read": 572_597_542,
+    "posix_opens": 126,
+    "posix_reads": 720,
+    "posix_bytes_read": 556_795_406,
+    "zero_byte_reads": 126,
+    "posix_seeks": 0,
+    "posix_stats": 0,
+    "read_hist": {"0_100": 126, "1K_10K": 1, "10K_100K": 9, "100K_1M": 584},
+    "staged_bytes": 184_999_883,
+}
+
+
+def _profile_counters(result):
+    profile = result.io_profile
+    return {
+        "steps": result.steps,
+        "bytes_read": result.bytes_read,
+        "posix_opens": profile.posix_opens,
+        "posix_reads": profile.posix_reads,
+        "posix_bytes_read": profile.posix_bytes_read,
+        "zero_byte_reads": profile.zero_byte_reads,
+        "posix_seeks": profile.posix_seeks,
+        "posix_stats": profile.posix_stats,
+        "read_hist": {k: v for k, v in profile.read_size_histogram.items() if v},
+    }
+
+
+@pytest.fixture(scope="module")
+def imagenet_run():
+    return run_imagenet_case(scale=0.01, steps=4, batch_size=64, threads=2,
+                             profile="epoch", checkpoint_every=2, seed=7)
+
+
+@pytest.fixture(scope="module")
+def malware_run():
+    return run_malware_case(scale=0.05, steps=4, batch_size=32, threads=2,
+                            profile="epoch", staging_threshold=2 << 20, seed=7)
+
+
+def test_imagenet_golden_counters(imagenet_run):
+    got = _profile_counters(imagenet_run)
+    expected = {k: GOLDEN_IMAGENET[k] for k in got}
+    assert got == expected
+
+
+def test_imagenet_golden_times_and_stdio(imagenet_run):
+    assert math.isclose(imagenet_run.fit_time, GOLDEN_IMAGENET["fit_time"],
+                        rel_tol=1e-6)
+    assert imagenet_run.checkpoint_fwrites == GOLDEN_IMAGENET["checkpoint_fwrites"]
+    assert imagenet_run.stdio_writes == GOLDEN_IMAGENET["stdio_writes"]
+
+
+def test_imagenet_zero_length_read_per_open(imagenet_run):
+    """The paper's Fig. 8 signature: one zero-length terminal read per file."""
+    profile = imagenet_run.io_profile
+    assert profile.zero_byte_reads == profile.posix_opens
+    assert profile.posix_reads == 2 * profile.posix_opens
+
+
+def test_malware_golden_counters(malware_run):
+    got = _profile_counters(malware_run)
+    expected = {k: GOLDEN_MALWARE[k] for k in got}
+    assert got == expected
+
+
+def test_malware_golden_staging_and_time(malware_run):
+    assert math.isclose(malware_run.fit_time, GOLDEN_MALWARE["fit_time"],
+                        rel_tol=1e-6)
+    assert malware_run.staging is not None
+    assert malware_run.staging.staged_bytes == GOLDEN_MALWARE["staged_bytes"]
