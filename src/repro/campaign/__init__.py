@@ -16,15 +16,25 @@ such a grid into a first-class object:
 >>> xs, ys = result.series("threads", "posix_bandwidth")
 
 Jobs carry content-derived identities and seeds, execute through pluggable
-executors (serial, ``multiprocessing``; async/distributed are the next
-seams), results are content-hash cached on disk so re-running an unchanged
-grid is near-instant, and aggregation yields the table/figure shapes the
-benchmark harnesses consume.
+executors (serial, thread-pool ``async``, ``multiprocessing``, or a
+distributed worker fleet — see :mod:`repro.campaign.dist`), results are
+content-hash cached on disk so re-running an unchanged grid is
+near-instant, and aggregation yields the table/figure shapes the benchmark
+harnesses consume.  Partially drained distributed grids are queryable
+early via :func:`~repro.campaign.dist.incremental.snapshot_campaign`.
 """
 
 from repro.campaign.aggregate import CampaignResult
 from repro.campaign.cache import PHYSICS_VERSION, ResultCache, default_cache_dir
+from repro.campaign.dist import (
+    CampaignSnapshot,
+    CostModel,
+    DistributedExecutor,
+    WorkQueue,
+    snapshot_campaign,
+)
 from repro.campaign.executors import (
+    AsyncExecutor,
     MultiprocessingExecutor,
     SerialExecutor,
     default_executor,
@@ -41,7 +51,11 @@ from repro.campaign.runner import run_campaign, run_grid
 from repro.campaign.spec import JobSpec, SpecError, SweepSpec, canonical_json
 
 __all__ = [
+    "AsyncExecutor",
     "CampaignResult",
+    "CampaignSnapshot",
+    "CostModel",
+    "DistributedExecutor",
     "JobResult",
     "JobSpec",
     "MultiprocessingExecutor",
@@ -51,6 +65,8 @@ __all__ = [
     "SpecError",
     "SweepSpec",
     "UnknownCaseError",
+    "WorkQueue",
+    "snapshot_campaign",
     "available_cases",
     "canonical_json",
     "default_cache_dir",

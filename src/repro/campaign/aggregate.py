@@ -32,7 +32,14 @@ def _matches(result: JobResult, where: Optional[Dict[str, Any]]) -> bool:
 
 @dataclass
 class CampaignResult:
-    """Ordered results of one campaign, with cache/executor bookkeeping."""
+    """Ordered results of one campaign, with cache/executor bookkeeping.
+
+    ``meta`` carries per-run orchestration facts that are not derivable
+    from the results themselves: the orchestrator's actual cache-probe
+    stats (authoritative even when workers in other processes kept their
+    own counters), and — for incremental snapshots of a partially drained
+    grid — the explicit ``pending``/``running``/``failed`` accounting.
+    """
 
     spec: SweepSpec
     results: List[JobResult]
@@ -40,6 +47,7 @@ class CampaignResult:
     cache_misses: int = 0
     wall_time: float = 0.0
     executor: str = "serial"
+    meta: Dict[str, Any] = field(default_factory=dict)
 
     # -- basic access ------------------------------------------------------
     def __len__(self) -> int:

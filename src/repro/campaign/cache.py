@@ -14,11 +14,11 @@ mismatched file is treated as a miss rather than an error.
 from __future__ import annotations
 
 import hashlib
-import json
 import os
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from repro.campaign.jsonio import atomic_write_json, read_json_or_none
 from repro.campaign.spec import JobSpec, canonical_json
 
 #: Version of the simulated physics.  Bump this when an intentional change
@@ -38,11 +38,24 @@ def default_cache_dir() -> Path:
 
 
 class ResultCache:
-    """Content-hash keyed store of job-result records."""
+    """Content-hash keyed store of job-result records.
+
+    .. note:: The ``hits``/``misses`` counters are **per-instance and
+       per-process**: they count the probes *this* object made, and they
+       accumulate across campaigns for the lifetime of the instance.  Under
+       ``MultiprocessingExecutor`` or a distributed worker fleet, probes
+       made by other processes are invisible here — so for per-run
+       accounting read ``CampaignResult.meta["cache"]``, which
+       :func:`~repro.campaign.runner.run_campaign` fills from the probes
+       the orchestrator actually performed for that run.
+    """
 
     def __init__(self, root: Optional[os.PathLike] = None,
                  physics_version: str = PHYSICS_VERSION):
-        self.root = Path(root) if root is not None else default_cache_dir()
+        # expanduser so documented usage like ResultCache("~/.cache/...")
+        # lands in the home directory, not a literal "~" dir in the CWD.
+        self.root = (Path(root).expanduser() if root is not None
+                     else default_cache_dir())
         self.physics_version = physics_version
         self.hits = 0
         self.misses = 0
@@ -66,11 +79,8 @@ class ResultCache:
     # -- access ------------------------------------------------------------
     def get(self, job: JobSpec) -> Optional[Dict[str, Any]]:
         """Return the cached result record for ``job`` or ``None``."""
-        path = self.path(job)
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                record = json.load(handle)
-        except (OSError, ValueError):
+        record = read_json_or_none(self.path(job))
+        if record is None:
             self.misses += 1
             return None
         # Defend against hash collisions and stale schema: the stored spec
@@ -91,11 +101,7 @@ class ResultCache:
         payload = dict(record)
         payload.setdefault("job", job.to_record())
         payload["physics"] = self.physics_version
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, sort_keys=True)
-        os.replace(tmp, path)
-        return path
+        return atomic_write_json(path, payload)
 
     # -- bookkeeping -------------------------------------------------------
     def clear(self) -> int:

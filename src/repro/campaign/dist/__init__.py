@@ -1,0 +1,49 @@
+"""Distributed campaign execution: durable queue, worker fleet, scheduling.
+
+The ROADMAP's distributed-executor seam, realized as four cooperating
+pieces, all file/JSON-backed so any mix of processes (and, over a shared
+filesystem, hosts) can participate:
+
+* :class:`~repro.campaign.dist.queue.WorkQueue` — durable work queue with
+  atomic claim/lease/complete transitions, heartbeat-renewed leases, a
+  retry policy and a max-attempt dead-letter state;
+* :class:`~repro.campaign.dist.worker.Worker` (CLI:
+  ``python -m repro.campaign.dist.worker --queue DIR``) — the claim,
+  cache-deduplicate, execute, heartbeat loop;
+* :class:`~repro.campaign.dist.costmodel.CostModel` — per-case runtime
+  estimates learned from prior results, driving longest-job-first order;
+* :func:`~repro.campaign.dist.incremental.snapshot_campaign` — incremental
+  aggregation: a partially drained grid is already queryable, with explicit
+  pending/running/failed accounting;
+* :class:`~repro.campaign.dist.executor.DistributedExecutor` — ties them
+  together behind the same ``map(fn, jobs)`` seam as the in-process
+  executors, so ``run_campaign(spec, executor=DistributedExecutor(...))``
+  is the only change a campaign needs.
+"""
+
+from repro.campaign.dist.costmodel import CostModel
+from repro.campaign.dist.executor import DistributedExecutor
+from repro.campaign.dist.incremental import CampaignSnapshot, snapshot_campaign
+from repro.campaign.dist.queue import WorkItem, WorkQueue, priority_for_cost
+
+
+def __getattr__(name: str):
+    # Lazy so `python -m repro.campaign.dist.worker` does not find the
+    # module pre-imported in sys.modules (runpy's double-import warning).
+    if name == "Worker":
+        from repro.campaign.dist.worker import Worker
+
+        return Worker
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "CampaignSnapshot",
+    "CostModel",
+    "DistributedExecutor",
+    "WorkItem",
+    "WorkQueue",
+    "Worker",
+    "priority_for_cost",
+    "snapshot_campaign",
+]

@@ -1,0 +1,151 @@
+"""Per-case runtime estimates for longest-job-first campaign scheduling.
+
+Fanning a grid out over a worker pool suffers stragglers when a long job is
+claimed last; ordering the queue by *descending estimated runtime* keeps the
+tail short (classic LPT scheduling).  The estimates are learned, not
+declared: every executed :class:`~repro.campaign.jobs.JobResult` carries its
+wall time, and :func:`~repro.campaign.runner.run_campaign` feeds fresh
+results into the model persisted alongside the result cache — so the second
+campaign over a similar grid is scheduled from the first one's measurements.
+
+Two granularities back an estimate:
+
+* an exact per-job EWMA keyed by ``job_id`` (re-runs of the very same
+  configuration, e.g. after a physics bump or a widened grid);
+* a per-case running mean as the fallback for unseen configurations.
+
+Unknown cases fall back to a neutral constant, which degrades to FIFO
+ordering — correct, just not optimized.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.campaign.jobs import JobResult
+from repro.campaign.jsonio import atomic_write_json, read_json_or_none
+from repro.campaign.spec import JobSpec
+
+#: Estimate used when nothing at all is known about a job's case.
+DEFAULT_COST = 1.0
+
+#: Smoothing factor of the exact per-job EWMA (recent runs dominate).
+EWMA_ALPHA = 0.5
+
+#: Filename used when persisting the model alongside a result cache.
+COSTMODEL_FILENAME = "costmodel.json"
+
+
+class CostModel:
+    """Learned wall-time estimates with optional JSON persistence."""
+
+    def __init__(self, path: Optional[os.PathLike] = None):
+        self.path = Path(path) if path is not None else None
+        self._exact: Dict[str, float] = {}
+        self._cases: Dict[str, Dict[str, float]] = {}
+        if self.path is not None:
+            self.load()
+
+    @classmethod
+    def alongside(cls, cache: Any) -> "CostModel":
+        """The model persisted next to a ``ResultCache``'s entries."""
+        return cls(Path(cache.root) / COSTMODEL_FILENAME)
+
+    # -- learning ----------------------------------------------------------
+    def observe(self, result: JobResult) -> None:
+        """Fold one executed result's wall time into the model.
+
+        Cache-served results are ignored (their wall time measures disk
+        reads, not the simulation); failed jobs still count — a diverging
+        configuration occupies a worker for exactly as long as it ran.
+        """
+        wall = float(result.wall_time)
+        # NB: json round-trips NaN, and `NaN <= 0` is False — mirror the
+        # load()-path finiteness filter or one bad record poisons the
+        # case mean (and order()'s sort) for the life of the process.
+        if result.cached or not math.isfinite(wall) or wall <= 0:
+            return
+        previous = self._exact.get(result.job_id)
+        self._exact[result.job_id] = (wall if previous is None else
+                                      EWMA_ALPHA * wall
+                                      + (1.0 - EWMA_ALPHA) * previous)
+        stats = self._cases.setdefault(result.case, {"count": 0.0, "mean": 0.0})
+        stats["count"] += 1.0
+        stats["mean"] += (wall - stats["mean"]) / stats["count"]
+
+    def observe_many(self, results: Iterable[JobResult]) -> None:
+        for result in results:
+            self.observe(result)
+
+    # -- estimation / scheduling ------------------------------------------
+    def estimate(self, job: JobSpec) -> float:
+        """Expected wall time of ``job`` in seconds."""
+        exact = self._exact.get(job.job_id)
+        if exact is not None:
+            return exact
+        stats = self._cases.get(job.case)
+        if stats and stats["count"] > 0:
+            return float(stats["mean"])
+        return DEFAULT_COST
+
+    def order(self, jobs: Iterable[JobSpec]) -> List[JobSpec]:
+        """Longest-estimated-first, ties broken by grid position.
+
+        The tiebreak keeps ordering deterministic, so two orchestrators
+        replaying the same grid enqueue identically.
+        """
+        return sorted(jobs, key=lambda job: (-self.estimate(job), job.index))
+
+    # -- persistence -------------------------------------------------------
+    def load(self) -> None:
+        """Load persisted estimates; a missing or corrupt file is empty.
+
+        Crash consistency mirrors the result cache: the model is a pure
+        optimization, so garbage on disk degrades scheduling, never
+        correctness.
+        """
+        if self.path is None:
+            return
+        payload = read_json_or_none(self.path)
+        if payload is None:
+            return
+        exact = payload.get("exact", {})
+        cases = payload.get("cases", {})
+        def usable(value: Any) -> bool:
+            # NB: json round-trips Infinity/NaN, and bool is an int subclass
+            # — both would poison estimates/sorting downstream.
+            return (isinstance(value, (int, float))
+                    and not isinstance(value, bool)
+                    and math.isfinite(value))
+
+        if isinstance(exact, dict):
+            self._exact = {str(k): float(v) for k, v in exact.items()
+                           if usable(v)}
+        if isinstance(cases, dict):
+            # Field-level corruption (nulls, strings, non-finite) drops the
+            # entry, never raises: the model is a hint, not a dependency.
+            self._cases = {
+                str(case): {"count": float(stats["count"]),
+                            "mean": float(stats["mean"])}
+                for case, stats in cases.items()
+                if isinstance(stats, dict)
+                and usable(stats.get("count")) and usable(stats.get("mean"))
+            }
+
+    def save(self) -> Optional[Path]:
+        """Atomically persist the model (no-op without a path)."""
+        if self.path is None:
+            return None
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        return atomic_write_json(self.path,
+                                 {"exact": self._exact, "cases": self._cases})
+
+    def __len__(self) -> int:
+        return len(self._exact)
+
+    def __repr__(self) -> str:
+        return (f"CostModel(jobs={len(self._exact)}, "
+                f"cases={sorted(self._cases)})")

@@ -1,0 +1,276 @@
+"""The distributed executor: a worker fleet behind the ``map(fn, jobs)`` seam.
+
+:class:`DistributedExecutor` plugs into :func:`~repro.campaign.runner.
+run_campaign` exactly like the in-process executors: the orchestrator still
+expands the grid, probes the cache, and aggregates — this executor only
+changes *where* the pending jobs run.  ``map`` enqueues the jobs into a
+durable :class:`~repro.campaign.dist.queue.WorkQueue` (ordered
+longest-job-first by the learned :class:`~repro.campaign.dist.costmodel.
+CostModel`), spawns N local worker processes running
+``python -m repro.campaign.dist.worker``, and blocks — scavenging expired
+leases and respawning dead workers — until every job reaches a terminal
+state or the timeout expires.
+
+The determinism contract survives distribution: job seeds are bound into
+the :class:`~repro.campaign.spec.JobSpec` before submission and results are
+keyed by content, so the aggregate is bit-identical to a serial run no
+matter how many workers participated, which ones crashed, or how often a
+job was retried.
+
+With ``workers=0`` the fleet is external: ``map`` runs one in-process
+worker loop to guarantee progress, and any separately launched workers
+pointed at ``queue_dir`` join in (the zero-worker mode is also what the
+crash-free unit tests use — the whole queue protocol without process
+spawns).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.dist.costmodel import CostModel
+from repro.campaign.dist.queue import WorkQueue
+from repro.campaign.jobs import JobResult, execute_job
+from repro.campaign.spec import JobSpec
+
+
+def _src_root() -> str:
+    """Directory that makes ``import repro`` work in a spawned worker."""
+    import repro
+
+    return str(Path(repro.__file__).resolve().parents[1])
+
+
+class DistributedExecutor:
+    """Run campaign jobs across a fleet of worker processes.
+
+    Parameters
+    ----------
+    queue_dir:
+        Durable queue directory, shared with the workers.  ``None`` uses a
+        per-``map`` temporary directory, removed after a clean drain.
+    workers:
+        Local worker processes to spawn per ``map`` call.  ``0`` means the
+        fleet is external (or in-process): ``map`` drains the queue with an
+        inline worker loop instead of spawning.
+    cache / cache_dir:
+        Shared result cache the *workers* probe before and after running —
+        the cross-worker deduplication layer.  Pass the same cache to
+        ``run_campaign`` so the orchestrator also serves hits up front.
+    cost_model:
+        Runtime estimator for longest-job-first enqueueing.  Defaults to
+        the model persisted alongside ``cache`` (when given), so prior
+        campaigns teach the scheduler.
+    lease_seconds / max_attempts:
+        Queue retry policy (see :class:`~repro.campaign.dist.queue.WorkQueue`).
+        Applied when ``map`` creates a fresh queue directory; an existing
+        queue keeps its persisted policy.
+    timeout:
+        Upper bound on one ``map`` call's wall time.  On expiry a
+        ``TimeoutError`` carries the queue state summary.
+    worker_extra_args:
+        Per-worker extra CLI arguments (``worker_extra_args[i]`` is
+        appended to worker *i*'s command line) — used by the crash-injection
+        tests and available for ad-hoc debugging flags.
+    """
+
+    name = "distributed"
+
+    def __init__(self,
+                 queue_dir: Optional[os.PathLike] = None,
+                 workers: int = 2,
+                 cache: Optional[ResultCache] = None,
+                 cache_dir: Optional[os.PathLike] = None,
+                 cost_model: Optional[CostModel] = None,
+                 lease_seconds: float = 15.0,
+                 max_attempts: int = 3,
+                 poll_interval: float = 0.05,
+                 timeout: float = 600.0,
+                 worker_extra_args: Optional[Sequence[Sequence[str]]] = None,
+                 progress: Optional[Callable[[str], None]] = None):
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.queue_dir = Path(queue_dir) if queue_dir is not None else None
+        self.workers = workers
+        if cache is None and cache_dir is not None:
+            cache = ResultCache(cache_dir)
+        self.cache = cache
+        self.cost_model = cost_model
+        self.lease_seconds = lease_seconds
+        self.max_attempts = max_attempts
+        self.poll_interval = poll_interval
+        self.timeout = timeout
+        self.worker_extra_args = [list(args)
+                                  for args in (worker_extra_args or [])]
+        self._say = progress or (lambda _line: None)
+        #: Queue of the most recent ``map`` call, for inspection/snapshots.
+        self.last_queue: Optional[WorkQueue] = None
+        self.respawns = 0
+
+    @property
+    def learns_costs(self) -> bool:
+        """True when ``map`` itself persists wall times into a durable cost
+        model — run_campaign checks this to avoid double-observing the
+        same fresh results.  An explicitly passed *path-less* model takes
+        precedence over the cache-adjacent default and persists nothing,
+        so it must not claim the learning."""
+        if self.cost_model is not None:
+            return self.cost_model.path is not None
+        return self.cache is not None
+
+    # -- the executor seam -------------------------------------------------
+    def map(self, fn: Callable[[JobSpec], JobResult],
+            items: Sequence[JobSpec]) -> List[JobResult]:
+        if fn is not execute_job:
+            raise ValueError(
+                "DistributedExecutor ships JobSpecs to workers that always "
+                f"run repro.campaign.jobs.execute_job; cannot map {fn!r}")
+        jobs = list(items)
+        if not jobs:
+            return []
+
+        temp_dir = None
+        if self.queue_dir is None:
+            temp_dir = tempfile.mkdtemp(prefix="repro-campaign-queue-")
+            queue_root = Path(temp_dir)
+        else:
+            queue_root = self.queue_dir
+        queue = WorkQueue(queue_root, lease_seconds=self.lease_seconds,
+                          max_attempts=self.max_attempts)
+        self.last_queue = queue
+
+        cost_model = self.cost_model
+        if cost_model is None:
+            cost_model = (CostModel.alongside(self.cache)
+                          if self.cache is not None else CostModel())
+        queue.enqueue_grid(jobs, cost_model=cost_model)
+        self._say(f"enqueued {len(jobs)} jobs into {queue_root} "
+                  f"(longest-first, {self.workers} workers)")
+
+        procs: List[subprocess.Popen] = []
+        deadline = time.monotonic() + self.timeout
+        try:
+            if self.workers > 0:
+                procs = [self._spawn_worker(queue_root, index)
+                         for index in range(self.workers)]
+                self._wait_for_drain(queue, jobs, procs, deadline)
+            else:
+                # Imported here, not at module top: keeps the worker module
+                # out of sys.modules for `python -m ...dist.worker` runs.
+                from repro.campaign.dist.worker import Worker
+
+                Worker(queue, cache=self.cache, poll_interval=self.poll_interval,
+                       exit_when_drained=True, worker_id="inline",
+                       deadline=deadline).run()
+                self._wait_for_drain(queue, jobs, procs, deadline)
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.terminate()
+            for proc in procs:
+                try:
+                    proc.wait(timeout=10.0)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    proc.kill()
+
+        results = self._collect(queue, jobs)
+        cost_model.observe_many(result for result in results
+                                if not result.cached)
+        cost_model.save()
+        if temp_dir is not None:
+            shutil.rmtree(temp_dir, ignore_errors=True)
+        return results
+
+    # -- fleet management --------------------------------------------------
+    def _worker_command(self, queue_root: Path, index: int) -> List[str]:
+        cmd = [sys.executable, "-m", "repro.campaign.dist.worker",
+               "--queue", str(queue_root),
+               "--exit-when-drained",
+               "--quiet",
+               "--poll-interval", str(self.poll_interval),
+               "--worker-id", f"w{index}-{os.getpid()}"]
+        if self.cache is not None:
+            cmd += ["--cache", str(self.cache.root)]
+        if index < len(self.worker_extra_args):
+            cmd += [str(arg) for arg in self.worker_extra_args[index]]
+        return cmd
+
+    def _spawn_worker(self, queue_root: Path, index: int) -> subprocess.Popen:
+        env = os.environ.copy()
+        src = _src_root()
+        env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                             if env.get("PYTHONPATH") else src)
+        log_path = queue_root / f"worker-{index}.log"
+        with open(log_path, "ab") as log:
+            return subprocess.Popen(self._worker_command(queue_root, index),
+                                    env=env, stdout=log,
+                                    stderr=subprocess.STDOUT)
+
+    def _wait_for_drain(self, queue: WorkQueue, jobs: List[JobSpec],
+                        procs: List[subprocess.Popen],
+                        deadline: float) -> None:
+        keys = {job.job_id for job in jobs}
+        next_scavenge = 0.0
+        while True:
+            # Lease scavenging is throttled to half a lease period — the
+            # fastest a lease can possibly expire — so the per-tick work
+            # is just the two terminal-directory listings below.
+            now = time.monotonic()
+            if now >= next_scavenge:
+                queue.requeue_expired()
+                next_scavenge = now + queue.lease_seconds / 2.0
+            # Filename-derived keys only: no JSON parsing on the poll path.
+            if keys <= queue.terminal_keys():
+                return
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"distributed campaign did not drain within "
+                    f"{self.timeout:.0f}s: {queue!r}")
+            if procs and all(proc.poll() is not None for proc in procs):
+                # Every worker exited (crashed or raced the drain check)
+                # with work outstanding.  Respawn to finish the grid — but
+                # capped: workers that can't even start (broken
+                # interpreter env, unwritable queue) would otherwise spawn
+                #-storm until the timeout with no diagnosis.
+                if self.respawns >= max(1, self.workers):
+                    codes = sorted({proc.returncode for proc in procs})
+                    raise RuntimeError(
+                        f"all workers exited (exit codes {codes}) with work "
+                        f"outstanding, after {self.respawns} respawns: "
+                        f"{queue!r} — see worker-*.log under {queue.root}")
+                self.respawns += 1
+                self._say(f"all workers exited with work outstanding; "
+                          f"respawn #{self.respawns}")
+                procs.append(self._spawn_worker(queue.root, len(procs)))
+            time.sleep(self.poll_interval)
+
+    # -- result collection -------------------------------------------------
+    def _collect(self, queue: WorkQueue, jobs: List[JobSpec]) -> List[JobResult]:
+        results = queue.results()
+        dead = queue.dead()
+        out: List[JobResult] = []
+        for job in jobs:
+            key = job.job_id
+            if key in results:
+                out.append(results[key])
+                continue
+            record = dead.get(key, {})
+            out.append(JobResult(
+                job_id=key, case=job.case, params=job.params, seed=job.seed,
+                error=record.get("error", "dead-lettered"),
+            ))
+        return out
+
+    def __repr__(self) -> str:
+        return (f"DistributedExecutor(workers={self.workers}, "
+                f"queue_dir={str(self.queue_dir) if self.queue_dir else None!r}, "
+                f"lease_seconds={self.lease_seconds}, "
+                f"max_attempts={self.max_attempts})")

@@ -1,0 +1,535 @@
+"""Durable, file-backed work queue with leases, retries and a dead-letter state.
+
+The queue is a directory; every piece of state is a small JSON file and
+every state transition is a single atomic filesystem operation (``os.replace``
+for writes, ``os.rename`` between state directories for moves), so any number
+of worker *processes* — possibly on different hosts sharing a filesystem —
+can cooperate without locks:
+
+``jobs/<key>.json``
+    Immutable job record: the :class:`~repro.campaign.spec.JobSpec`, its
+    cost estimate and its ticket name.  Written once at enqueue time.
+``pending/<prio>-<key>.json``
+    A claimable *ticket* holding only the attempt counter.  The filename
+    embeds the scheduling priority so a sorted directory listing *is* the
+    schedule (smaller sorts first; :class:`~repro.campaign.dist.costmodel.
+    CostModel` encodes longest-job-first).
+``claimed/<prio>-<key>.json`` + ``leases/<prio>-<key>.json``
+    A claim is the atomic rename of a ticket from ``pending/`` into
+    ``claimed/`` — exactly one renamer wins — followed by a lease naming the
+    worker and its expiry.  Workers heartbeat the lease while executing.
+``results/<key>.json`` / ``done/<prio>-<key>.json``
+    Completion writes the :class:`~repro.campaign.jobs.JobResult` record
+    first, then retires the ticket; a crash between the two leaves a
+    result that :meth:`WorkQueue.requeue_expired` retires idempotently.
+``dead/<key>.json``
+    Dead-letter records for jobs that exhausted ``max_attempts``.
+
+Crash consistency is the design goal: a truncated or garbage JSON ticket or
+lease is *requeueable, never fatal* (a garbage ticket reads as attempt 0, a
+garbage lease reads as expired), and because the spec in ``jobs/`` is
+immutable, bookkeeping corruption never loses the job itself.  Only a
+corrupt ``jobs/`` record dead-letters the entry, since there is nothing
+left to execute.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.campaign.jobs import JobResult, result_from_record_or_none
+from repro.campaign.jsonio import atomic_write_json, read_json_or_none
+from repro.campaign.spec import JobSpec
+
+#: Priority strings are fixed-width so lexicographic order == numeric order.
+_PRIORITY_WIDTH = 10
+_PRIORITY_MAX = 10 ** _PRIORITY_WIDTH - 1
+
+#: Subdirectories making up a queue.
+_STATE_DIRS = ("jobs", "pending", "claimed", "leases", "results", "done", "dead")
+
+
+def priority_for_cost(cost: float) -> str:
+    """Encode an estimated cost (seconds) as a sortable priority string.
+
+    Larger costs map to *smaller* strings so that an ascending directory
+    listing yields longest-job-first — the schedule that minimizes makespan
+    stragglers across a worker pool.  Non-finite estimates (a corrupt cost
+    model) clamp to "longest" rather than raising.
+    """
+    cost = float(cost)
+    if cost != cost:  # NaN
+        cost = 0.0
+    millis = int(max(0.0, min(cost, 1e6)) * 1000.0)  # clamps +/-inf too
+    return f"{_PRIORITY_MAX - millis:0{_PRIORITY_WIDTH}d}"
+
+
+@dataclass
+class WorkItem:
+    """A claimed job: everything a worker needs to execute and settle it."""
+
+    name: str          # ticket stem, "<prio>-<key>"
+    key: str           # job key (the JobSpec.job_id)
+    job: JobSpec
+    attempts: int      # completed attempts *before* this claim
+    cost: float = 0.0
+    worker: str = ""
+
+
+class WorkQueue:
+    """Durable multi-process work queue over a shared directory.
+
+    Parameters
+    ----------
+    lease_seconds:
+        How long a claim stays valid without a heartbeat.  A worker that
+        crashes mid-job simply stops heartbeating; the next
+        :meth:`requeue_expired` call returns the job to ``pending``.
+    max_attempts:
+        Total execution attempts before a job is dead-lettered.
+    clock:
+        Injectable time source (tests advance a fake clock instead of
+        sleeping through lease expiries).
+
+    The first creator of a queue directory persists ``lease_seconds`` and
+    ``max_attempts`` into ``queue.json``; later opens (e.g. worker
+    processes) adopt the stored values so every participant agrees on the
+    lease protocol.
+    """
+
+    def __init__(self, root: os.PathLike,
+                 lease_seconds: float = 30.0,
+                 max_attempts: int = 3,
+                 clock: Callable[[], float] = time.time):
+        self.root = Path(root)
+        self._clock = clock
+        for sub in _STATE_DIRS:
+            (self.root / sub).mkdir(parents=True, exist_ok=True)
+        config_path = self.root / "queue.json"
+        config = self._read_json(config_path)
+        if not config:
+            # Validate *before* persisting anything, so a bad constructor
+            # call cannot poison the directory for later opens.
+            if lease_seconds <= 0:
+                raise ValueError("lease_seconds must be positive")
+            if max_attempts < 1:
+                raise ValueError("max_attempts must be >= 1")
+            config = self._publish_config(config_path, {
+                "lease_seconds": float(lease_seconds),
+                "max_attempts": int(max_attempts),
+            })
+        # Adopt the (single) persisted policy, whoever won the creation
+        # race — every participant must agree on the lease protocol.
+        lease_seconds = float(config.get("lease_seconds", lease_seconds))
+        max_attempts = int(config.get("max_attempts", max_attempts))
+        if lease_seconds <= 0:
+            raise ValueError("lease_seconds must be positive")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.lease_seconds = lease_seconds
+        self.max_attempts = max_attempts
+
+    # -- low-level JSON helpers -------------------------------------------
+    _write_json = staticmethod(atomic_write_json)
+    _read_json = staticmethod(read_json_or_none)
+
+    def _publish_config(self, path: Path,
+                        payload: Dict[str, Any]) -> Dict[str, Any]:
+        """First-writer-wins creation of ``queue.json``.
+
+        O_EXCL makes one concurrent creator the winner; every loser (and
+        the winner) adopts whatever the file now holds, so two
+        orchestrators racing to create the same queue cannot run with
+        divergent lease policies.  A garbage config (torn by a crash
+        mid-create) is healed with an atomic rewrite.
+        """
+        # Stage the full content first, then hard-link it into place:
+        # creation is both exclusive *and* atomic in content, so a loser
+        # (or any reader) can never observe a partially written config.
+        tmp = path.parent / f".{path.name}.create.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        try:
+            os.link(tmp, path)
+            return payload
+        except FileExistsError:
+            existing = self._read_json(path)
+            if existing is not None:
+                return existing
+            self._write_json(path, payload)  # heal a torn/garbage config
+            return payload
+        except OSError:
+            # Filesystem without hard links: settle for plain atomic write
+            # (last concurrent creator wins, but content is never torn).
+            self._write_json(path, payload)
+            return payload
+        finally:
+            self._remove(tmp)
+
+    @staticmethod
+    def _key_of(ticket_name: str) -> Optional[str]:
+        stem = ticket_name[:-5] if ticket_name.endswith(".json") else ticket_name
+        if len(stem) <= _PRIORITY_WIDTH + 1 or stem[_PRIORITY_WIDTH] != "-":
+            return None
+        prefix = stem[:_PRIORITY_WIDTH]
+        if not prefix.isdigit():
+            return None
+        return stem[_PRIORITY_WIDTH + 1:]
+
+    def _tickets(self, state: str) -> List[str]:
+        return sorted(name for name in os.listdir(self.root / state)
+                      if name.endswith(".json"))
+
+    # -- enqueue -----------------------------------------------------------
+    def enqueue(self, job: JobSpec, cost: float = 0.0) -> str:
+        """Add ``job`` to the queue (idempotently) and return its ticket name.
+
+        Re-enqueueing a job that is already pending, claimed, done or
+        dead-lettered is a no-op, so a restarted orchestrator can replay a
+        whole grid into an existing queue safely.
+        """
+        key = job.job_id
+        spec_path = self.root / "jobs" / f"{key}.json"
+        existing = self._read_json(spec_path)
+        if existing and "job" in existing:
+            name = existing.get("name") or f"{priority_for_cost(cost)}-{key}"
+        else:
+            name = f"{priority_for_cost(cost)}-{key}"
+            self._write_json(spec_path, {"job": job.to_record(),
+                                         "cost": float(cost), "name": name})
+        ticket = f"{name}.json"
+        states = (self.root / "pending" / ticket,
+                  self.root / "claimed" / ticket,
+                  self.root / "done" / ticket,
+                  self.root / "results" / f"{key}.json",
+                  self.root / "dead" / f"{key}.json")
+        if any(path.exists() for path in states):
+            return name
+        self._write_json(self.root / "pending" / ticket, {"attempts": 0})
+        return name
+
+    def enqueue_grid(self, jobs: Iterable[JobSpec],
+                     cost_model: Optional[Any] = None) -> List[str]:
+        """Enqueue many jobs, longest-estimated-first when a model is given."""
+        jobs = list(jobs)
+        if cost_model is not None:
+            jobs = cost_model.order(jobs)
+            return [self.enqueue(job, cost=cost_model.estimate(job))
+                    for job in jobs]
+        return [self.enqueue(job) for job in jobs]
+
+    # -- claim / lease -----------------------------------------------------
+    def claim(self, worker: str = "") -> Optional[WorkItem]:
+        """Atomically claim the highest-priority pending job, if any.
+
+        Corrupt bookkeeping never aborts the scan: a garbage ticket is
+        claimed with ``attempts == 0`` (requeueable), while a corrupt
+        immutable job record is dead-lettered (nothing left to execute)
+        and the scan continues with the next ticket.
+        """
+        now = self._clock()
+        for ticket in self._tickets("pending"):
+            key = self._key_of(ticket)
+            if key is None:
+                continue  # foreign file; leave it alone
+            pending_path = self.root / "pending" / ticket
+            if (self.root / "results" / f"{key}.json").exists():
+                # Already computed (healed double-enqueue): retire the ticket.
+                try:
+                    os.rename(pending_path, self.root / "done" / ticket)
+                except OSError:
+                    pass
+                continue
+            claimed_path = self.root / "claimed" / ticket
+            try:
+                os.rename(pending_path, claimed_path)
+            except OSError:
+                continue  # another worker won the race
+            try:
+                # rename preserves mtime; stamp the claim time so the
+                # scavenger's missing-lease grace window (measured from
+                # this file's mtime) actually starts now.
+                os.utime(claimed_path, (now, now))
+            except OSError:
+                pass
+            payload = self._read_json(claimed_path) or {}
+            attempts = int(payload.get("attempts", 0) or 0)
+            record = self._read_json(self.root / "jobs" / f"{key}.json")
+            if not record or "job" not in record:
+                self._bury(ticket, key, attempts,
+                           error="corrupt job record (unreadable spec)")
+                continue
+            try:
+                job = JobSpec.from_record(record["job"])
+            except (KeyError, TypeError, ValueError):
+                self._bury(ticket, key, attempts,
+                           error="corrupt job record (bad spec fields)")
+                continue
+            cost = float(record.get("cost", 0.0) or 0.0)
+            self._write_json(self.root / "leases" / ticket, {
+                "worker": worker,
+                "attempts": attempts,
+                "claimed_at": now,
+                "expires_at": now + self.lease_seconds,
+            })
+            return WorkItem(name=ticket[:-5], key=key, job=job,
+                            attempts=attempts, cost=cost, worker=worker)
+        return None
+
+    def heartbeat(self, item: WorkItem) -> None:
+        """Extend the lease of a claimed job (call while executing)."""
+        now = self._clock()
+        self._write_json(self.root / "leases" / f"{item.name}.json", {
+            "worker": item.worker,
+            "attempts": item.attempts,
+            "claimed_at": now,
+            "expires_at": now + self.lease_seconds,
+        })
+
+    # -- settle ------------------------------------------------------------
+    def complete(self, item: WorkItem, result: JobResult) -> None:
+        """Persist ``result`` and retire the claim.
+
+        The result record is written *before* the ticket moves, so a crash
+        between the two steps loses no work: the scavenger retires tickets
+        whose result already exists.  Completion after a lease expiry (the
+        job was requeued and possibly re-run elsewhere) is harmless —
+        results are content-derived and therefore identical.
+        """
+        self._write_json(self.root / "results" / f"{item.key}.json", {
+            "result": result.to_record(),
+            "cached": bool(result.cached),
+            "worker": item.worker,
+            "attempts": item.attempts + 1,
+        })
+        ticket = f"{item.name}.json"
+        try:
+            os.rename(self.root / "claimed" / ticket, self.root / "done" / ticket)
+        except OSError:
+            pass  # lease expired and the ticket was requeued meanwhile
+        self._remove(self.root / "leases" / ticket)
+
+    def fail(self, item: WorkItem, error: str) -> str:
+        """Record a failed attempt; requeue or dead-letter.
+
+        Returns ``"requeued"`` or ``"dead"``.  This is the path for
+        *infrastructure* failures (the worker could not run the job at
+        all); workload exceptions are captured into ``JobResult.error`` by
+        ``execute_job`` and settle through :meth:`complete`, exactly as
+        they do under the in-process executors.
+        """
+        attempts = item.attempts + 1
+        ticket = f"{item.name}.json"
+        if attempts >= self.max_attempts:
+            self._bury(ticket, item.key, attempts, error=error)
+            return "dead"
+        self._requeue_ticket(ticket, attempts)
+        return "requeued"
+
+    def _requeue_ticket(self, ticket: str, attempts: int) -> bool:
+        """Move a claimed ticket back to pending as one atomic rename.
+
+        The attempt counter is folded into the claimed ticket first, then
+        the rename is the commit point (mirroring :meth:`claim`) — the
+        requeue never unlinks a ticket some other worker might hold, so a
+        racing claim is at worst re-run (results are content-derived),
+        never stranded outside every state directory.
+        """
+        claimed_path = self.root / "claimed" / ticket
+        self._write_json(claimed_path, {"attempts": attempts})
+        try:
+            os.rename(claimed_path, self.root / "pending" / ticket)
+        except OSError:
+            return False  # settled or requeued by someone else meanwhile
+        self._remove(self.root / "leases" / ticket)
+        return True
+
+    def _bury(self, ticket: str, key: str, attempts: int, error: str) -> None:
+        record = self._read_json(self.root / "jobs" / f"{key}.json") or {}
+        self._write_json(self.root / "dead" / f"{key}.json", {
+            "job": record.get("job"),
+            "error": error,
+            "attempts": attempts,
+        })
+        self._remove(self.root / "claimed" / ticket)
+        self._remove(self.root / "leases" / ticket)
+
+    @staticmethod
+    def _remove(path: Path) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    # -- lease scavenging --------------------------------------------------
+    def requeue_expired(self, now: Optional[float] = None) -> List[str]:
+        """Return expired/orphaned claims to ``pending``; heal stale state.
+
+        A garbage lease counts as expired (the bookkeeping was lost, the
+        job was not); a *missing* lease gets one ``lease_seconds`` of
+        grace measured from the claimed ticket's mtime, because
+        :meth:`claim` commits with the rename and writes the lease a few
+        syscalls later — a concurrent scavenger must not steal the claim
+        inside that window.  A claim whose result already exists is
+        retired instead of retried, and jobs over ``max_attempts`` move
+        to the dead-letter state.  Returns the keys that were requeued.
+        """
+        now = self._clock() if now is None else now
+        requeued: List[str] = []
+        for ticket in self._tickets("claimed"):
+            key = self._key_of(ticket)
+            if key is None:
+                continue
+            claimed_path = self.root / "claimed" / ticket
+            if (self.root / "results" / f"{key}.json").exists():
+                try:
+                    os.rename(claimed_path, self.root / "done" / ticket)
+                except OSError:
+                    pass
+                self._remove(self.root / "leases" / ticket)
+                continue
+            if (self.root / "pending" / ticket).exists():
+                # Duplicate state (external corruption / legacy residue):
+                # fold the claim back into pending atomically.  The rename
+                # never strands a racing claimant — worst case the job is
+                # re-run, and the conservative (claimed-side) attempt
+                # count wins.
+                try:
+                    os.rename(claimed_path, self.root / "pending" / ticket)
+                except OSError:
+                    pass
+                self._remove(self.root / "leases" / ticket)
+                continue
+            lease = self._read_json(self.root / "leases" / ticket)
+            if lease is not None and float(lease.get("expires_at", 0.0)) > now:
+                continue  # live lease
+            if lease is None and not (self.root / "leases" / ticket).exists():
+                # Claim-window grace: no lease was written yet (or ever —
+                # the claimant crashed mid-claim).  Requeue only once the
+                # claim is older than a full lease.
+                try:
+                    claimed_at = os.path.getmtime(claimed_path)
+                except OSError:
+                    continue  # settled concurrently
+                if now - claimed_at < self.lease_seconds:
+                    continue
+            payload = self._read_json(claimed_path) or {}
+            attempts = int(payload.get("attempts", 0) or 0)
+            if lease is not None:
+                attempts = max(attempts, int(lease.get("attempts", 0) or 0))
+            attempts += 1
+            if attempts >= self.max_attempts:
+                self._bury(ticket, key, attempts,
+                           error=f"lease expired after {attempts} attempts "
+                                 f"(worker crash or hang)")
+            elif self._requeue_ticket(ticket, attempts):
+                requeued.append(key)
+        return requeued
+
+    def retry_dead(self, keys: Optional[Iterable[str]] = None) -> List[str]:
+        """Return dead-lettered jobs to ``pending`` with a fresh attempt
+        budget — the recovery path after fixing whatever infrastructure
+        failure exhausted their retries.
+
+        Dead-lettering is otherwise terminal (``enqueue`` refuses to
+        revive buried jobs, so replaying a grid cannot silently retry
+        them), which would strand a persistent queue directory forever
+        without this. Restricts to ``keys`` when given; returns the keys
+        actually revived (jobs whose spec record is unreadable cannot
+        run and stay buried).
+        """
+        wanted = None if keys is None else set(keys)
+        revived: List[str] = []
+        for name in self._tickets("dead"):
+            key = name[:-5]
+            if wanted is not None and key not in wanted:
+                continue
+            if (self.root / "results" / f"{key}.json").exists():
+                self._remove(self.root / "dead" / name)  # already computed
+                continue
+            record = self._read_json(self.root / "jobs" / f"{key}.json")
+            if not record or "job" not in record:
+                continue  # nothing left to execute
+            ticket_name = record.get("name") or (
+                f"{priority_for_cost(float(record.get('cost', 0.0) or 0.0))}"
+                f"-{key}")
+            self._write_json(self.root / "pending" / f"{ticket_name}.json",
+                             {"attempts": 0})
+            self._remove(self.root / "dead" / name)
+            revived.append(key)
+        return revived
+
+    # -- inspection --------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        return {state: len(self._tickets(state))
+                for state in ("pending", "claimed", "done", "dead")}
+
+    def drained(self) -> bool:
+        """True when nothing is left to execute (pending and claimed empty)."""
+        return not self._tickets("pending") and not self._tickets("claimed")
+
+    def pending_keys(self) -> List[str]:
+        return [key for key in map(self._key_of, self._tickets("pending"))
+                if key is not None]
+
+    def claimed_keys(self) -> List[str]:
+        return [key for key in map(self._key_of, self._tickets("claimed"))
+                if key is not None]
+
+    def live_claimed_keys(self, now: Optional[float] = None) -> List[str]:
+        """Claimed jobs whose lease is still live (read-only probe).
+
+        A claimed ticket with a missing, garbage or expired lease belongs
+        to a crashed worker: it is *requeueable*, not running, and status
+        reporting should say so even before a scavenger runs.
+        """
+        now = self._clock() if now is None else now
+        live: List[str] = []
+        for ticket in self._tickets("claimed"):
+            key = self._key_of(ticket)
+            if key is None:
+                continue
+            lease = self._read_json(self.root / "leases" / ticket)
+            if lease is not None and float(lease.get("expires_at", 0.0)) > now:
+                live.append(key)
+        return live
+
+    def terminal_keys(self) -> set:
+        """Keys in a terminal state (result persisted or dead-lettered).
+
+        Computed from directory listings alone — no JSON parsing — so
+        drain polling stays O(listdir) per tick.
+        """
+        return ({name[:-5] for name in self._tickets("results")}
+                | {name[:-5] for name in self._tickets("dead")})
+
+    def results(self) -> Dict[str, JobResult]:
+        """All persisted results, keyed by job key (corrupt files skipped)."""
+        out: Dict[str, JobResult] = {}
+        for name in self._tickets("results"):
+            record = self._read_json(self.root / "results" / name)
+            result = result_from_record_or_none(
+                record, cached=bool(record.get("cached")) if record else False)
+            if result is not None:
+                out[name[:-5]] = result
+        return out
+
+    def dead(self) -> Dict[str, Dict[str, Any]]:
+        """Dead-letter records keyed by job key."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for name in self._tickets("dead"):
+            record = self._read_json(self.root / "dead" / name)
+            if record is not None:
+                out[name[:-5]] = record
+        return out
+
+    def __repr__(self) -> str:
+        counts = self.counts()
+        return (f"WorkQueue({str(self.root)!r}, pending={counts['pending']}, "
+                f"claimed={counts['claimed']}, done={counts['done']}, "
+                f"dead={counts['dead']})")

@@ -1,0 +1,242 @@
+"""The distributed-campaign worker: claim, deduplicate, execute, heartbeat.
+
+Runnable as a module::
+
+    python -m repro.campaign.dist.worker --queue DIR [--cache DIR] \
+        [--worker-id ID] [--exit-when-drained] [--max-jobs N] \
+        [--idle-timeout SECONDS]
+
+Any number of workers may point at the same queue directory (and, via a
+shared filesystem, the same cache).  Each loop iteration scavenges expired
+leases, claims the highest-priority ticket, probes the shared
+:class:`~repro.campaign.cache.ResultCache` *before* running (another worker
+may have computed the job already — results are content-derived, so serving
+the cached record is exact), executes via
+:func:`~repro.campaign.jobs.execute_job` while a daemon thread heartbeats
+the lease, stores the fresh result back into the cache, and settles the
+claim.  Workload exceptions settle as completed-with-error results (the
+same contract as the in-process executors); only infrastructure failures —
+the job could not be run at all — consume a retry attempt.
+
+Workers with custom (non-built-in) cases set ``REPRO_CASE_PROVIDERS`` to a
+colon-separated list of modules to import before execution (see
+:mod:`repro.campaign.jobs`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import threading
+import time
+from typing import Optional
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.dist.queue import WorkItem, WorkQueue
+from repro.campaign.jobs import (
+    JobResult,
+    execute_job,
+    result_from_record_or_none,
+)
+
+
+class _LeaseHeartbeat(threading.Thread):
+    """Daemon thread renewing a claim's lease while the job executes."""
+
+    def __init__(self, queue: WorkQueue, item: WorkItem):
+        super().__init__(daemon=True, name=f"heartbeat-{item.key}")
+        self._queue = queue
+        self._item = item
+        # NB: named _halt because threading.Thread reserves _stop internally.
+        self._halt = threading.Event()
+        #: Renew well inside the lease so one missed beat is survivable.
+        self.interval = max(0.05, queue.lease_seconds / 4.0)
+
+    def run(self) -> None:
+        while not self._halt.wait(self.interval):
+            try:
+                self._queue.heartbeat(self._item)
+            except OSError:  # pragma: no cover - transient filesystem error
+                pass
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=2.0)
+
+
+class Worker:
+    """One worker process's claim-execute-settle loop.
+
+    Parameters
+    ----------
+    exit_when_drained:
+        Stop as soon as the queue has no pending *and* no claimed work —
+        how executor-spawned fleets shut down.  A standing worker (the
+        default) keeps polling for new jobs forever, bounded by
+        ``idle_timeout`` / ``max_jobs`` when given.
+    crash_after_claims:
+        Test hook: hard-exit the process (``os._exit``) immediately after
+        the N-th successful claim, *before* settling it — simulating a
+        worker crash mid-job with a dangling lease.
+    """
+
+    def __init__(self, queue: WorkQueue,
+                 cache: Optional[ResultCache] = None,
+                 worker_id: Optional[str] = None,
+                 poll_interval: float = 0.2,
+                 idle_timeout: Optional[float] = None,
+                 max_jobs: Optional[int] = None,
+                 exit_when_drained: bool = False,
+                 deadline: Optional[float] = None,
+                 crash_after_claims: Optional[int] = None,
+                 log=None):
+        self.queue = queue
+        self.cache = cache
+        self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+        self.poll_interval = poll_interval
+        self.idle_timeout = idle_timeout
+        self.max_jobs = max_jobs
+        self.exit_when_drained = exit_when_drained
+        #: ``time.monotonic()`` value after which no *new* claim is made
+        #: (a job already executing runs to completion — claims are not
+        #: preemptible, exactly like SerialExecutor).
+        self.deadline = deadline
+        self.crash_after_claims = crash_after_claims
+        self._log = log or (lambda _line: None)
+        self.processed = 0
+        self.cache_served = 0
+        self.claims = 0
+
+    def run(self) -> int:
+        """Process jobs until a stop condition holds; returns jobs settled."""
+        idle_since: Optional[float] = None
+        next_scavenge = 0.0
+        while True:
+            if self.max_jobs is not None and self.processed >= self.max_jobs:
+                break
+            if (self.deadline is not None
+                    and time.monotonic() >= self.deadline):
+                break
+            # Scavenging scans every claimed ticket's lease; leases cannot
+            # expire faster than lease_seconds, so once per half-lease per
+            # worker gives identical recovery latency at a fraction of the
+            # (possibly NFS) metadata traffic.
+            now = time.monotonic()
+            if now >= next_scavenge:
+                self.queue.requeue_expired()
+                next_scavenge = now + self.queue.lease_seconds / 2.0
+            item = self.queue.claim(self.worker_id)
+            if item is None:
+                if self.exit_when_drained and self.queue.drained():
+                    break
+                now = time.monotonic()
+                idle_since = idle_since if idle_since is not None else now
+                if (self.idle_timeout is not None
+                        and now - idle_since >= self.idle_timeout):
+                    break
+                time.sleep(self.poll_interval)
+                continue
+            idle_since = None
+            self.claims += 1
+            if (self.crash_after_claims is not None
+                    and self.claims >= self.crash_after_claims):
+                self._log(f"{self.worker_id}: injected crash after claim "
+                          f"#{self.claims} ({item.key})")
+                os._exit(42)
+            self._run_item(item)
+            self.processed += 1
+        return self.processed
+
+    # -- one claim ---------------------------------------------------------
+    def _run_item(self, item: WorkItem) -> JobResult:
+        job = item.job
+        if self.cache is not None:
+            result = result_from_record_or_none(self.cache.get(job),
+                                                cached=True)
+            if result is not None:
+                self.queue.complete(item, result)
+                self.cache_served += 1
+                self._log(f"{self.worker_id}: {item.key} served from cache")
+                return result
+
+        heartbeat = _LeaseHeartbeat(self.queue, item)
+        heartbeat.start()
+        try:
+            try:
+                result = execute_job(job)
+            finally:
+                # Always stopped before any settle/cache write: a failure
+                # below must not leak a daemon renewing the lease forever
+                # (which would make the job unrequeueable).
+                heartbeat.stop()
+        except Exception as exc:  # noqa: BLE001 - infrastructure failure
+            # execute_job captures *workload* exceptions itself; reaching
+            # here means the job could not run at all (unknown case, broken
+            # provider import, ...) — consume a retry attempt.
+            outcome = self.queue.fail(
+                item, f"{type(exc).__name__}: {exc}")
+            self._log(f"{self.worker_id}: {item.key} failed to start "
+                      f"({outcome}): {exc}")
+            return JobResult(job_id=job.job_id, case=job.case,
+                             params=job.params, seed=job.seed,
+                             error=f"{type(exc).__name__}: {exc}")
+        if self.cache is not None and result.ok:
+            self.cache.put(job, {"result": result.to_record()})
+        self.queue.complete(item, result)
+        status = "ok" if result.ok else f"error: {result.error}"
+        self._log(f"{self.worker_id}: {item.key} done in "
+                  f"{result.wall_time:.2f}s ({status})")
+        return result
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign.dist.worker",
+        description="Claim and execute campaign jobs from a durable work "
+                    "queue directory.")
+    parser.add_argument("--queue", required=True,
+                        help="work-queue directory (created by the "
+                             "orchestrator / DistributedExecutor)")
+    parser.add_argument("--cache", default=None,
+                        help="shared ResultCache directory for cross-worker "
+                             "deduplication")
+    parser.add_argument("--worker-id", default=None,
+                        help="stable identity recorded in leases/results "
+                             "(default: <hostname>-<pid>)")
+    parser.add_argument("--poll-interval", type=float, default=0.2,
+                        help="seconds between claim attempts when idle")
+    parser.add_argument("--idle-timeout", type=float, default=None,
+                        help="exit after this many consecutive idle seconds")
+    parser.add_argument("--max-jobs", type=int, default=None,
+                        help="exit after settling this many jobs")
+    parser.add_argument("--exit-when-drained", action="store_true",
+                        help="exit once the queue has no pending or claimed "
+                             "work (fleet mode)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-job progress lines")
+    # Test hook: simulate a worker crash (hard exit) mid-job.
+    parser.add_argument("--crash-after-claims", type=int, default=None,
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    queue = WorkQueue(args.queue)
+    cache = ResultCache(args.cache) if args.cache else None
+    log = (lambda _line: None) if args.quiet else (
+        lambda line: print(line, flush=True))
+    worker = Worker(queue, cache=cache, worker_id=args.worker_id,
+                    poll_interval=args.poll_interval,
+                    idle_timeout=args.idle_timeout,
+                    max_jobs=args.max_jobs,
+                    exit_when_drained=args.exit_when_drained,
+                    crash_after_claims=args.crash_after_claims,
+                    log=log)
+    processed = worker.run()
+    log(f"{worker.worker_id}: exiting after {processed} jobs "
+        f"({worker.cache_served} cache-served); queue now {queue!r}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

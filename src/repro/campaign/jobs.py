@@ -16,9 +16,10 @@ is importable at module scope (picklable by reference) and returns a
 from __future__ import annotations
 
 import importlib
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.campaign.spec import JobSpec
 
@@ -30,6 +31,18 @@ _CASES: Dict[str, CaseRunner] = {}
 #: Keeping the workload adapters out of this module avoids importing the
 #: full tfmini/darshan stack for campaigns over lightweight cases.
 _CASE_PROVIDERS = ("repro.workloads.runner",)
+
+#: Environment variable naming extra provider modules (colon-separated).
+#: Distributed worker processes use it to load custom cases that were
+#: registered by the orchestrator's own imports rather than by a module
+#: in the default provider list.
+CASE_PROVIDERS_ENV = "REPRO_CASE_PROVIDERS"
+
+
+def _providers() -> Tuple[str, ...]:
+    extra = os.environ.get(CASE_PROVIDERS_ENV, "")
+    return _CASE_PROVIDERS + tuple(
+        module for module in extra.split(":") if module)
 
 
 class UnknownCaseError(KeyError):
@@ -49,7 +62,7 @@ def register_case(name: str) -> Callable[[CaseRunner], CaseRunner]:
 def get_case(name: str) -> CaseRunner:
     """Look up a case runner, importing the workload adapters on demand."""
     if name not in _CASES:
-        for module in _CASE_PROVIDERS:
+        for module in _providers():
             importlib.import_module(module)
     try:
         return _CASES[name]
@@ -59,7 +72,7 @@ def get_case(name: str) -> CaseRunner:
 
 
 def available_cases() -> List[str]:
-    for module in _CASE_PROVIDERS:
+    for module in _providers():
         importlib.import_module(module)
     return sorted(_CASES)
 
@@ -99,6 +112,26 @@ class JobResult:
                          metrics=dict(record["metrics"]),
                          wall_time=record.get("wall_time", 0.0),
                          cached=cached, error=record.get("error"))
+
+
+def result_from_record_or_none(record: Optional[Mapping[str, Any]],
+                               cached: bool = False) -> Optional[JobResult]:
+    """Decode a persisted ``{"result": ...}`` record, or ``None``.
+
+    The single tolerant-decode path shared by every consumer of stored
+    results (cache probes in the orchestrator and workers, the work
+    queue's results directory): a record from a stale or foreign schema
+    is "absent" — recompute — never a crash.
+    """
+    if not record:
+        return None
+    payload = record.get("result")
+    if not payload:
+        return None
+    try:
+        return JobResult.from_record(payload, cached=cached)
+    except (KeyError, TypeError, ValueError):
+        return None
 
 
 def execute_job(job: JobSpec) -> JobResult:

@@ -1,0 +1,40 @@
+"""Shared crash-consistent JSON file helpers for the campaign layer.
+
+Every durable artifact of the campaign stack — cache entries, work-queue
+tickets/leases/results, the cost model — is a small JSON file written with
+the same two rules: writes are atomic (temp file in the same directory +
+``os.replace``, so a reader never observes a torn write), and reads treat
+unreadable or garbage content as absent rather than fatal (a crash can
+leave stray bytes; it must never wedge the system).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+
+def atomic_write_json(path: Path, payload: Dict[str, Any]) -> Path:
+    """Write ``payload`` to ``path`` atomically; returns ``path``.
+
+    The temp name carries the pid so concurrent writers on a shared
+    filesystem never collide on the staging file.
+    """
+    path = Path(path)
+    tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True)
+    os.replace(tmp, path)
+    return path
+
+
+def read_json_or_none(path: Path) -> Optional[Dict[str, Any]]:
+    """Parse a JSON object file; missing/garbage/non-dict content is ``None``."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None

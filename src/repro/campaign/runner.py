@@ -16,7 +16,11 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.campaign.aggregate import CampaignResult
 from repro.campaign.cache import ResultCache
 from repro.campaign.executors import SerialExecutor
-from repro.campaign.jobs import JobResult, execute_job
+from repro.campaign.jobs import (
+    JobResult,
+    execute_job,
+    result_from_record_or_none,
+)
 from repro.campaign.spec import JobSpec, SweepSpec
 
 
@@ -58,8 +62,9 @@ def run_campaign(spec: SweepSpec,
     hits = 0
     for slot, job in enumerate(jobs):
         record = cache.get(job) if cache is not None else None
-        if record is not None and record.get("result"):
-            results[slot] = JobResult.from_record(record["result"], cached=True)
+        served = result_from_record_or_none(record, cached=True)
+        if served is not None:
+            results[slot] = served
             hits += 1
         else:
             pending.append(job)
@@ -74,10 +79,24 @@ def run_campaign(spec: SweepSpec,
                 f"executor {executor!r} returned {len(fresh)} results for "
                 f"{len(pending)} jobs — the map() contract requires one "
                 f"result per job, in order")
+        # Executors whose workers already write this same cache store
+        # (distributed fleets) persisted every fresh result themselves;
+        # re-putting identical records here would just burn filesystem
+        # writes.  Cache-served results (cached=True) never need a put.
+        executor_cache = getattr(executor, "cache", None)
+        workers_own_cache = (cache is not None and executor_cache is not None
+                             and getattr(executor_cache, "root", None)
+                             == cache.root)
         for slot, job, result in zip(pending_slots, pending, fresh):
             results[slot] = result
-            if cache is not None and result.ok:
+            if (cache is not None and result.ok
+                    and not result.cached and not workers_own_cache):
                 cache.put(job, {"result": result.to_record()})
+        if cache is not None and not getattr(executor, "learns_costs", False):
+            # Executors that own cost learning (DistributedExecutor folds
+            # wall times into the model inside map()) must not be counted
+            # a second time here.
+            _learn_costs(cache, fresh)
     else:
         say(f"all {len(jobs)} jobs served from cache")
 
@@ -88,9 +107,31 @@ def run_campaign(spec: SweepSpec,
         cache_misses=len(pending),
         wall_time=time.perf_counter() - start,
         executor=getattr(executor, "name", type(executor).__name__),
+        # Authoritative per-run cache accounting, counted from the probes
+        # this orchestrator actually made (ResultCache's own counters are
+        # per-instance and per-process — see its class docs).
+        meta={"cache": {"enabled": cache is not None,
+                        "probes": len(jobs) if cache is not None else 0,
+                        "hits": hits if cache is not None else 0,
+                        "misses": len(pending) if cache is not None else 0}},
     )
     say(campaign.summary())
     return campaign
+
+
+def _learn_costs(cache: ResultCache, fresh: List[JobResult]) -> None:
+    """Fold freshly measured wall times into the cost model stored beside
+    the cache, so later (especially distributed) campaigns schedule
+    longest-job-first from real measurements.  Best-effort: scheduling is
+    an optimization, never worth failing a campaign over."""
+    try:
+        from repro.campaign.dist.costmodel import CostModel
+
+        model = CostModel.alongside(cache)
+        model.observe_many(fresh)
+        model.save()
+    except OSError:  # pragma: no cover - read-only cache dir etc.
+        pass
 
 
 def run_grid(case: str, name: Optional[str] = None,

@@ -18,10 +18,12 @@ from repro.workloads.runner import (
     TrainingRunResult,
     imagenet_threads_spec,
     overhead_grid_spec,
+    platform_grid_spec,
     run_checkpoint_case,
     run_imagenet_case,
     run_malware_case,
     run_overhead_case,
+    run_platform_case,
     run_stream_validation,
     staging_threshold_spec,
     training_metrics,
@@ -33,6 +35,7 @@ __all__ = [
     "TrainingRunResult",
     "imagenet_threads_spec",
     "overhead_grid_spec",
+    "platform_grid_spec",
     "staging_threshold_spec",
     "training_metrics",
     "build_imagenet_dataset",
@@ -48,6 +51,7 @@ __all__ = [
     "run_imagenet_case",
     "run_malware_case",
     "run_overhead_case",
+    "run_platform_case",
     "run_stream_validation",
     "table2_rows",
 ]

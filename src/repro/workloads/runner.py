@@ -327,6 +327,110 @@ def run_checkpoint_case(
 
 
 # ---------------------------------------------------------------------------
+# Platform-parameter sweeps
+# ---------------------------------------------------------------------------
+
+def run_platform_case(
+    n_osts: int = 8,
+    page_cache_gib: float = 1.0,
+    bandwidth_scale: float = 1.0,
+    files: int = 12,
+    file_kib: int = 16384,
+    readers: int = 6,
+    read_kib: int = 1024,
+    stripe_count: int = 4,
+    seed: Optional[int] = None,
+) -> Dict[str, float]:
+    """One point of the platform-parameter grid (ROADMAP "larger grids").
+
+    Builds a Kebnekaise-style Lustre node whose three capacity knobs are
+    swept rather than fixed — OST count, page-cache size, and device/OST
+    bandwidth (``bandwidth_scale`` multiplies the datasheet OST rates) —
+    lays out a small synthetic corpus, and drives two full read passes
+    with ``readers`` concurrent reader processes through the POSIX/VFS/
+    page-cache/Lustre stack.  The cold pass measures the storage floor;
+    the warm pass isolates the page-cache effect (a cache smaller than the
+    corpus must re-fetch evicted prefixes, a larger one serves DRAM).
+
+    The default corpus is few-but-large files: with many small files the
+    client's serialized MDS stream dominates (the Fig. 7 regime, covered
+    by the ``imagenet`` case) and would mask the OST/bandwidth axes this
+    sweep exists to expose.  Deliberately milliseconds-scale, so
+    100+-point grids are cheap enough to farm out across a worker fleet
+    and still complete in seconds.
+    """
+    from repro.posix import SimulatedOS
+    from repro.sim.rng import make_rng
+    from repro.storage import PageCache
+    from repro.storage.device import StreamingDevice
+    from repro.storage.lustre import LustreFilesystem
+
+    if n_osts < 1 or files < 1 or readers < 1:
+        raise ValueError("n_osts, files and readers must all be >= 1")
+    env = Environment()
+    page_cache = PageCache(capacity_bytes=max(1, int(page_cache_gib * (1 << 30))))
+    os_image = SimulatedOS(env, page_cache=page_cache)
+    osts = [StreamingDevice(env,
+                            name=f"ost{i}",
+                            read_bandwidth=2.0e9 * bandwidth_scale,
+                            write_bandwidth=1.5e9 * bandwidth_scale,
+                            latency=0.6e-3,
+                            per_stream_bandwidth=1.2e9 * bandwidth_scale,
+                            queue_depth=64)
+            for i in range(int(n_osts))]
+    lustre = LustreFilesystem(env, osts=osts, name="lustre",
+                              stripe_size=1 * MIB,
+                              stripe_count=min(int(stripe_count), len(osts)),
+                              network_bandwidth=12.0e9)
+    os_image.mount("/lustre", lustre)
+
+    rng = make_rng(seed, "platform")
+    sizes = [int(max(1, s)) for s in
+             rng.uniform(0.5, 1.5, size=int(files)) * int(file_kib) * 1024]
+    paths = []
+    for i, size in enumerate(sizes):
+        path = f"/lustre/grid/file{i:05d}.bin"
+        os_image.vfs.create_file(path, size=size)
+        paths.append(path)
+
+    posix = os_image.posix
+    read_size = int(read_kib) * 1024
+
+    def reader(assigned):
+        for path in assigned:
+            fd = yield from posix.open(path)
+            while True:
+                data = yield from posix.read(fd, read_size)
+                if data.nbytes == 0:
+                    break
+            yield from posix.close(fd)
+
+    def run_pass() -> float:
+        start = env.now
+        procs = [env.process(reader(paths[i::int(readers)]))
+                 for i in range(int(readers))]
+        env.run(until=env.all_of(procs))
+        return env.now - start
+
+    os_image.drop_caches()
+    cold_time = run_pass()
+    warm_time = run_pass()
+    total = float(sum(sizes))
+    return {
+        "files": float(len(paths)),
+        "bytes": total,
+        "cold_time": cold_time,
+        "warm_time": warm_time,
+        "cold_bandwidth": total / cold_time if cold_time > 0 else 0.0,
+        "warm_bandwidth": total / warm_time if warm_time > 0 else 0.0,
+        "warm_speedup": cold_time / warm_time if warm_time > 0 else 0.0,
+        "mds_requests": float(lustre.mds_requests),
+        "cache_resident_bytes": float(page_cache.used_bytes),
+        "cache_evictions": float(page_cache.evictions),
+    }
+
+
+# ---------------------------------------------------------------------------
 # Campaign case adapters
 # ---------------------------------------------------------------------------
 #
@@ -416,6 +520,12 @@ def _overhead_case(params: Dict[str, object], seed: int) -> Dict[str, object]:
     return {"elapsed": float(run_overhead_case(seed=seed, **params))}
 
 
+@register_case("platform")
+def _platform_case(params: Dict[str, object], seed: int) -> Dict[str, object]:
+    """One platform-parameter grid point (OSTs x page cache x bandwidth)."""
+    return run_platform_case(seed=seed, **params)
+
+
 # ---------------------------------------------------------------------------
 # Canonical sweep specs for the paper's grids
 # ---------------------------------------------------------------------------
@@ -468,6 +578,34 @@ def overhead_grid_spec(cases: Sequence[str], profilers: Sequence[str],
         case="overhead",
         base={"steps": steps, "batch_size": batch_size},
         grid={"case": list(cases), "profiler": list(profilers)},
+        seed=seed,
+        seed_mode="shared",
+    )
+
+
+def platform_grid_spec(osts: Sequence[int] = (1, 2, 4, 8),
+                       page_cache_gib: Sequence[float] = (0.03125, 0.25, 8.0),
+                       bandwidth_scales: Sequence[float] = (0.5, 1.0, 2.0),
+                       files: int = 12, file_kib: int = 16384,
+                       readers: int = 6,
+                       seed: int = 1) -> "SweepSpec":
+    """The ROADMAP's platform-parameter grid: OST counts × page-cache sizes
+    × device bandwidths.  Default 36 points; widen any axis for the
+    100+-job fleet demonstrations (``benchmarks/test_platform_grid.py``).
+
+    ``seed_mode="shared"`` keeps the corpus identical across grid points,
+    so every delta is attributable to the platform parameter — the same
+    fixed-workload protocol the paper's differential measurements use.
+    """
+    from repro.campaign import SweepSpec
+
+    return SweepSpec(
+        name="platform-grid",
+        case="platform",
+        base={"files": files, "file_kib": file_kib, "readers": readers},
+        grid={"n_osts": [int(n) for n in osts],
+              "page_cache_gib": [float(g) for g in page_cache_gib],
+              "bandwidth_scale": [float(s) for s in bandwidth_scales]},
         seed=seed,
         seed_mode="shared",
     )

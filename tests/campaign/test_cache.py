@@ -54,6 +54,43 @@ def test_corrupt_entry_is_a_miss(tmp_path):
     assert cache.misses >= 1
 
 
+def test_truncated_and_empty_entries_are_misses_then_recoverable(tmp_path):
+    """Crash consistency: a partially written or zero-length record must be
+    treated as a miss — and a subsequent put() repairs the entry."""
+    cache = ResultCache(tmp_path)
+    job = _job()
+    record = {"result": {"job_id": job.job_id, "case": job.case,
+                         "params": dict(job.params), "seed": job.seed,
+                         "metrics": {"makespan": 2.5}}}
+    path = cache.put(job, record)
+
+    full = path.read_text(encoding="utf-8")
+    path.write_text(full[: len(full) // 2], encoding="utf-8")  # torn write
+    assert cache.get(job) is None
+    path.write_text("", encoding="utf-8")  # zero-length file
+    assert cache.get(job) is None
+
+    cache.put(job, record)
+    assert cache.get(job)["result"]["metrics"] == {"makespan": 2.5}
+
+
+def test_leftover_tmp_files_are_invisible(tmp_path):
+    """A crash between tmp-write and rename leaves a *.tmp.<pid> file that
+    neither counts as an entry nor breaks probes of the real key."""
+    cache = ResultCache(tmp_path)
+    job = _job()
+    tmp = cache.path(job).with_suffix(".tmp.12345")
+    tmp.parent.mkdir(parents=True, exist_ok=True)
+    tmp.write_text('{"result": {"half": true', encoding="utf-8")
+    assert cache.get(job) is None
+    assert len(cache) == 0
+    cache.put(job, {"result": {"job_id": job.job_id, "case": job.case,
+                               "params": dict(job.params), "seed": job.seed,
+                               "metrics": {}}})
+    assert len(cache) == 1
+    assert cache.get(job) is not None
+
+
 def test_mismatched_entry_is_a_miss(tmp_path):
     """A record whose stored job differs from the probe is rejected."""
     cache = ResultCache(tmp_path)
@@ -85,6 +122,42 @@ def test_changed_grid_point_recomputes_only_that_job(tmp_path):
     result = run_campaign(widened, cache=cache)
     assert result.cache_hits == 4
     assert result.cache_misses == 2
+
+
+def test_campaign_meta_reports_per_run_probe_stats(tmp_path):
+    """The instance counters on ResultCache are per-process and cumulative;
+    CampaignResult.meta["cache"] carries the authoritative per-run stats
+    counted from the orchestrator's actual probes."""
+    spec = _spec()
+    first = run_campaign(spec, cache=ResultCache(tmp_path))
+    assert first.meta["cache"] == {"enabled": True, "probes": 4,
+                                   "hits": 0, "misses": 4}
+    # A *fresh* cache instance (fresh process, in the distributed case)
+    # has zeroed counters — meta still reports the run's true hits.
+    second = run_campaign(spec, cache=ResultCache(tmp_path))
+    assert second.meta["cache"] == {"enabled": True, "probes": 4,
+                                    "hits": 4, "misses": 0}
+    uncached = run_campaign(spec)
+    assert uncached.meta["cache"]["enabled"] is False
+
+
+def test_explicit_root_expands_tilde(monkeypatch, tmp_path):
+    """ResultCache('~/...') (the README usage) must land in the home
+    directory, not create a literal '~' directory in the CWD."""
+    monkeypatch.setenv("HOME", str(tmp_path))
+    cache = ResultCache("~/cache-root")
+    assert cache.root == tmp_path / "cache-root"
+
+
+def test_schema_stale_cache_record_is_recomputed_not_fatal(tmp_path):
+    """A record whose job spec matches but whose result payload misses
+    required fields (older/newer schema) must be treated as a miss."""
+    cache = ResultCache(tmp_path)
+    job = _job()
+    cache.put(job, {"result": {"job_id": job.job_id}})  # no case/params/seed
+    result = run_campaign(_spec(), cache=cache)
+    assert result.ok
+    assert result.cache_hits == 0  # the stale record did not serve (or crash)
 
 
 def test_clear_and_len(tmp_path):

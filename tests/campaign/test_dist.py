@@ -1,0 +1,286 @@
+"""Acceptance tests of the distributed campaign subsystem.
+
+The headline property: a real-workload grid run through
+``DistributedExecutor`` with a multi-process worker fleet — *including a
+worker that crashes mid-job* — yields aggregates bit-identical to
+``SerialExecutor``, and a half-drained queue already aggregates into a
+queryable partial result with exact pending/running/failed accounting.
+
+The 12-job grid sweeps the platform itself (OST counts × page-cache sizes
+× device bandwidths): every job drives concurrent readers through the full
+POSIX/VFS/page-cache/Lustre simulation stack — the paper's Kebnekaise
+storage model — while staying milliseconds-scale, so the fleet tests keep
+tier-1 fast.
+"""
+
+import pytest
+
+from repro.campaign import (
+    DistributedExecutor,
+    ResultCache,
+    SerialExecutor,
+    SweepSpec,
+    run_campaign,
+    snapshot_campaign,
+)
+from repro.campaign.dist import CostModel, WorkQueue, Worker
+from repro.campaign.jobs import execute_job
+from repro.workloads import platform_grid_spec
+
+#: 3 x 2 x 2 = 12 real-simulation jobs (full storage/OS stack per job).
+PLATFORM_SPEC = platform_grid_spec(
+    osts=(1, 2, 8),
+    page_cache_gib=(0.03125, 8.0),
+    bandwidth_scales=(0.5, 2.0),
+    files=8, file_kib=8192, readers=4,
+    seed=13,
+)
+
+
+def _synthetic_spec(**overrides):
+    kwargs = dict(name="dist-synth", case="synthetic", base={"rate": 140.0},
+                  grid={"workers": [1, 2], "tasks": [5, 9, 17, 33]})
+    kwargs.update(overrides)
+    return SweepSpec(**kwargs)
+
+
+# -- the acceptance property -----------------------------------------------
+
+def test_distributed_fleet_with_worker_crash_matches_serial(tmp_path):
+    """12 real-workload jobs, 2 worker processes, one injected crash
+    mid-job: the lease expires, the job requeues, the surviving worker
+    finishes the grid, and the aggregate equals the serial run exactly."""
+    assert PLATFORM_SPEC.job_count == 12
+    serial = run_campaign(PLATFORM_SPEC, executor=SerialExecutor())
+    assert serial.ok, serial.failures
+
+    executor = DistributedExecutor(
+        queue_dir=tmp_path / "queue",
+        workers=2,
+        lease_seconds=1.0,      # short lease => fast crash recovery
+        poll_interval=0.05,
+        timeout=300.0,
+        # Worker 1 hard-exits (os._exit) right after its second claim,
+        # leaving a dangling lease on an unfinished job.
+        worker_extra_args=[(), ("--crash-after-claims", "2")],
+    )
+    distributed = run_campaign(PLATFORM_SPEC, executor=executor)
+
+    assert distributed.ok, distributed.failures
+    assert len(distributed) == 12
+    assert distributed.executor == "distributed"
+    assert (serial.aggregate_fingerprint()
+            == distributed.aggregate_fingerprint())
+    assert serial.rows() == distributed.rows()
+
+    queue = executor.last_queue
+    assert queue is not None
+    counts = queue.counts()
+    assert counts["done"] == 12
+    assert counts["dead"] == 0
+    # Prove the crash + recovery actually happened: the raw result records
+    # carry the settling attempt number, so the job the crashed worker was
+    # holding must have completed on attempt >= 2, by a different worker.
+    records = [queue._read_json(path)
+               for path in sorted((queue.root / "results").iterdir())]
+    attempts = [record["attempts"] for record in records]
+    assert max(attempts) >= 2, attempts
+    crashed = [r for r in records if r["attempts"] >= 2]
+    assert all(not r["worker"].startswith("w1-") for r in crashed)
+
+
+def test_incremental_aggregation_over_half_drained_queue(tmp_path):
+    """A partially drained grid is already queryable: completed jobs
+    aggregate in deterministic order, and pending/running/failed are
+    accounted explicitly."""
+    spec = _synthetic_spec()
+    jobs = spec.expand()
+    assert len(jobs) == 8
+    serial = run_campaign(spec, executor=SerialExecutor())
+
+    queue = WorkQueue(tmp_path / "queue", lease_seconds=30.0, max_attempts=1)
+    queue.enqueue_grid(jobs, cost_model=CostModel())
+
+    # Drain three jobs, dead-letter one (max_attempts=1 buries the first
+    # fail), leave one claimed/running and four untouched.
+    for _ in range(3):
+        item = queue.claim("drainer")
+        queue.complete(item, execute_job(item.job))
+    assert queue.fail(queue.claim("failer"), "injected failure") == "dead"
+    running_item = queue.claim("runner")
+    assert running_item is not None
+
+    snap = snapshot_campaign(spec, queue)
+    assert snap.total == 8
+    assert snap.done == 3
+    assert len(snap.failed) == 1
+    assert len(snap.running) == 1
+    assert len(snap.pending) == 3
+    assert not snap.complete
+    assert snap.progress == pytest.approx(4 / 8)
+    meta = snap.result.meta["incremental"]
+    assert meta == {"total": 8, "done": 3, "pending": 3, "running": 1,
+                    "failed": 1}
+
+    # The partial aggregate matches the serial run on the completed subset.
+    serial_by_id = {r.job_id: r for r in serial}
+    for result in snap.result:
+        assert result.metrics == serial_by_id[result.job_id].metrics
+    # Table/series machinery works on the partial result unchanged.
+    assert len(snap.result.rows()) == 3
+    assert "3/8 done" in snap.summary()
+
+    # Finishing the rest closes the books.
+    queue.complete(running_item, execute_job(running_item.job))
+    while True:
+        item = queue.claim("drainer")
+        if item is None:
+            break
+        queue.complete(item, execute_job(item.job))
+    final = snapshot_campaign(spec, queue)
+    assert final.complete
+    assert final.done == 7  # the dead-lettered job stays failed
+    assert final.failed == snap.failed
+    assert final.progress == 1.0
+
+
+# -- fleet mechanics at tier-1 scale ---------------------------------------
+
+def test_inline_distributed_executor_matches_serial(tmp_path):
+    """workers=0: the whole queue protocol without process spawns."""
+    spec = _synthetic_spec()
+    serial = run_campaign(spec, executor=SerialExecutor())
+    distributed = run_campaign(
+        spec, executor=DistributedExecutor(queue_dir=tmp_path / "queue",
+                                           workers=0))
+    assert (serial.aggregate_fingerprint()
+            == distributed.aggregate_fingerprint())
+
+
+def test_workers_deduplicate_through_shared_cache(tmp_path):
+    """A fleet pointed at a warm shared cache serves every job from it."""
+    spec = _synthetic_spec()
+    cache = ResultCache(tmp_path / "cache")
+    first = run_campaign(spec, executor=SerialExecutor(), cache=cache)
+
+    executor = DistributedExecutor(queue_dir=tmp_path / "queue", workers=0,
+                                   cache=cache)
+    # Bypass run_campaign's own cache probe: the *workers* must dedupe.
+    results = executor.map(execute_job, spec.expand())
+    assert all(result.cached for result in results)
+    assert [r.metrics for r in results] == [r.metrics for r in first]
+
+
+def test_fresh_results_teach_the_cost_model(tmp_path):
+    """run_campaign persists wall times beside the cache; a later
+    distributed enqueue orders the queue longest-job-first from them."""
+    spec = _synthetic_spec()
+    cache = ResultCache(tmp_path / "cache")
+    campaign = run_campaign(spec, executor=SerialExecutor(), cache=cache)
+    assert (tmp_path / "cache" / "costmodel.json").exists()
+
+    model = CostModel.alongside(cache)
+    jobs = spec.expand()
+    estimates = [model.estimate(job) for job in jobs]
+    walls = [result.wall_time for result in campaign]
+    assert estimates == pytest.approx(walls)
+    ordered = model.order(jobs)
+    assert [model.estimate(job) for job in ordered] == sorted(estimates,
+                                                              reverse=True)
+
+
+def test_worker_requires_execute_job():
+    with pytest.raises(ValueError):
+        DistributedExecutor(workers=0).map(lambda job: job, [1, 2])
+
+
+def test_worker_loop_settles_workload_errors_without_retry(tmp_path):
+    """workers=0 run of a grid with a deterministically failing job: the
+    error result settles as completed (same contract as in-process
+    executors), consuming no retry attempts."""
+    spec = _synthetic_spec(grid={"workers": [0, 1]})  # workers=0 raises
+    serial = run_campaign(spec, executor=SerialExecutor())
+    distributed = run_campaign(
+        spec, executor=DistributedExecutor(queue_dir=tmp_path / "queue",
+                                           workers=0))
+    assert not distributed.ok
+    assert len(distributed.failures) == 1
+    assert (serial.aggregate_fingerprint()
+            == distributed.aggregate_fingerprint())
+    assert distributed.failures[0].error == serial.failures[0].error
+    assert WorkQueue(tmp_path / "queue").counts()["dead"] == 0
+
+
+def test_snapshot_reports_expired_lease_claims_as_pending(tmp_path):
+    """A crashed fleet must not look healthy: a claim whose lease has
+    expired is requeueable work, so the snapshot counts it pending (even
+    before a scavenger moves the ticket)."""
+    clock = [1000.0]
+    spec = _synthetic_spec()
+    queue = WorkQueue(tmp_path / "queue", lease_seconds=10.0,
+                      clock=lambda: clock[0])
+    queue.enqueue_grid(spec.expand())
+    assert queue.claim("doomed-worker") is not None
+
+    live = snapshot_campaign(spec, queue)
+    assert len(live.running) == 1 and len(live.pending) == 7
+
+    clock[0] += 11.0  # the worker died; its lease lapses
+    stalled = snapshot_campaign(spec, queue)
+    assert stalled.running == []
+    assert len(stalled.pending) == 8
+
+
+def test_inline_map_times_out_on_foreign_lease(tmp_path):
+    """workers=0 with a job held by an external worker that never finishes:
+    map() must honour its timeout instead of spinning forever."""
+    spec = _synthetic_spec(grid={"workers": [1], "tasks": [5]})
+    queue = WorkQueue(tmp_path / "queue", lease_seconds=3600.0)
+    queue.enqueue_grid(spec.expand())
+    assert queue.claim("external-worker") is not None  # never settles
+
+    executor = DistributedExecutor(queue_dir=tmp_path / "queue", workers=0,
+                                   poll_interval=0.01, timeout=0.3)
+    with pytest.raises(TimeoutError):
+        executor.map(execute_job, spec.expand())
+
+
+def test_unstartable_workers_fail_fast_with_diagnosis(tmp_path, monkeypatch):
+    """Workers that die on startup must not spawn-storm until the timeout:
+    the executor caps respawns and raises with the exit codes."""
+    import sys
+
+    spec = _synthetic_spec(grid={"workers": [1]})
+    executor = DistributedExecutor(queue_dir=tmp_path / "queue", workers=2,
+                                   poll_interval=0.02, timeout=60.0)
+    monkeypatch.setattr(
+        DistributedExecutor, "_worker_command",
+        lambda self, root, index: [sys.executable, "-c",
+                                   "import sys; sys.exit(3)"])
+    with pytest.raises(RuntimeError, match=r"exit codes \[3\]"):
+        executor.map(execute_job, spec.expand())
+    assert executor.respawns <= executor.workers
+
+
+def test_cost_model_rejects_nan_wall_times():
+    from repro.campaign.jobs import JobResult
+
+    model = CostModel()
+    job = _synthetic_spec().expand()[0]
+    model.observe(JobResult(job_id=job.job_id, case=job.case,
+                            params=job.params, seed=job.seed,
+                            wall_time=float("nan")))
+    assert model.estimate(job) == 1.0  # the poison sample was dropped
+
+
+def test_unknown_case_dead_letters_after_retries(tmp_path):
+    """A job no worker can even start (unknown case) exhausts its attempts
+    and surfaces as a dead-lettered failure in the campaign result."""
+    spec = SweepSpec(name="nope", case="does-not-exist", grid={"x": [1]})
+    queue_dir = tmp_path / "queue"
+    executor = DistributedExecutor(queue_dir=queue_dir, workers=0,
+                                   max_attempts=2)
+    result = run_campaign(spec, executor=executor)
+    assert not result.ok
+    assert "UnknownCaseError" in result.failures[0].error
+    assert WorkQueue(queue_dir).counts()["dead"] == 1

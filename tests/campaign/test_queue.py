@@ -1,0 +1,411 @@
+"""Unit and crash-consistency tests for the durable work queue.
+
+The queue's contract is that *no* state transition can lose a job: worker
+crashes surface as expired leases and requeue, truncated/garbage JSON
+bookkeeping reads as "requeueable", and only exhausting ``max_attempts``
+(or a corrupt immutable job record, which leaves nothing to execute)
+parks a job in the dead-letter state.  Time is injected so lease expiry
+is tested without sleeping.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import SweepSpec
+from repro.campaign.dist import CostModel, WorkQueue, priority_for_cost
+from repro.campaign.jobs import JobResult, execute_job
+
+
+def _spec(**overrides):
+    kwargs = dict(name="queue-spec", case="synthetic", base={"rate": 150.0},
+                  grid={"workers": [1, 2], "tasks": [4, 8]})
+    kwargs.update(overrides)
+    return SweepSpec(**kwargs)
+
+
+def _jobs(spec=None):
+    return (spec or _spec()).expand()
+
+
+class FakeClock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def queue(tmp_path, clock):
+    return WorkQueue(tmp_path / "q", lease_seconds=10.0, max_attempts=3,
+                     clock=clock)
+
+
+# -- lifecycle --------------------------------------------------------------
+
+def test_enqueue_claim_complete_lifecycle(queue):
+    jobs = _jobs()
+    for job in jobs:
+        queue.enqueue(job)
+    assert queue.counts() == {"pending": 4, "claimed": 0, "done": 0, "dead": 0}
+    assert not queue.drained()
+
+    seen = []
+    while True:
+        item = queue.claim("w0")
+        if item is None:
+            break
+        result = execute_job(item.job)
+        queue.complete(item, result)
+        seen.append(item.key)
+    assert len(seen) == 4
+    assert queue.drained()
+    assert queue.counts() == {"pending": 0, "claimed": 0, "done": 4, "dead": 0}
+    results = queue.results()
+    assert set(results) == {job.job_id for job in jobs}
+    assert all(isinstance(r, JobResult) and r.ok for r in results.values())
+
+
+def test_enqueue_is_idempotent(queue):
+    job = _jobs()[0]
+    first = queue.enqueue(job, cost=2.0)
+    again = queue.enqueue(job, cost=99.0)  # different cost: same ticket
+    assert first == again
+    assert queue.counts()["pending"] == 1
+    item = queue.claim("w0")
+    queue.complete(item, execute_job(item.job))
+    assert queue.enqueue(job) == first  # done: no new ticket
+    assert queue.counts()["pending"] == 0
+
+
+def test_longest_job_first_claim_order(queue):
+    jobs = _jobs()
+    costs = [0.5, 8.0, 2.0, 4.0]
+    for job, cost in zip(jobs, costs):
+        queue.enqueue(job, cost=cost)
+    order = []
+    while True:
+        item = queue.claim("w0")
+        if item is None:
+            break
+        order.append(item.cost)
+        queue.complete(item, execute_job(item.job))
+    assert order == sorted(costs, reverse=True)
+
+
+def test_priority_encoding_sorts_longest_first():
+    assert priority_for_cost(10.0) < priority_for_cost(1.0)
+    assert priority_for_cost(1.0) < priority_for_cost(0.0)
+    assert priority_for_cost(-1.0) == priority_for_cost(0.0)
+
+
+def test_claim_is_mutually_exclusive(queue):
+    jobs = _jobs()
+    for job in jobs:
+        queue.enqueue(job)
+    items = [queue.claim(f"w{i}") for i in range(6)]
+    claimed = [item for item in items if item is not None]
+    assert len(claimed) == 4
+    assert len({item.key for item in claimed}) == 4  # never the same job twice
+
+
+def test_workload_error_results_settle_as_completed(queue):
+    spec = _spec(grid={"workers": [0]})  # workers=0 raises inside the case
+    job = spec.expand()[0]
+    queue.enqueue(job)
+    item = queue.claim("w0")
+    result = execute_job(item.job)
+    assert not result.ok
+    queue.complete(item, result)
+    assert queue.drained()
+    assert queue.counts()["dead"] == 0  # deterministic failure, no retry
+    assert not queue.results()[job.job_id].ok
+
+
+# -- leases, retries, dead-letter ------------------------------------------
+
+def test_expired_lease_is_requeued_with_attempt_count(queue, clock):
+    job = _jobs()[0]
+    queue.enqueue(job)
+    item = queue.claim("w0")
+    assert queue.requeue_expired() == []  # live lease
+
+    clock.advance(11.0)  # beyond lease_seconds
+    assert queue.requeue_expired() == [job.job_id]
+    assert queue.counts() == {"pending": 1, "claimed": 0, "done": 0, "dead": 0}
+    retried = queue.claim("w1")
+    assert retried.key == item.key
+    assert retried.attempts == 1
+
+
+def test_heartbeat_keeps_the_lease_alive(queue, clock):
+    job = _jobs()[0]
+    queue.enqueue(job)
+    item = queue.claim("w0")
+    clock.advance(8.0)
+    queue.heartbeat(item)
+    clock.advance(8.0)  # 16s since claim, 8s since heartbeat
+    assert queue.requeue_expired() == []
+    assert queue.counts()["claimed"] == 1
+
+
+def test_max_attempts_dead_letters(queue, clock):
+    job = _jobs()[0]
+    queue.enqueue(job)
+    for _attempt in range(queue.max_attempts - 1):
+        assert queue.claim("w0") is not None
+        clock.advance(11.0)
+        queue.requeue_expired()
+    assert queue.claim("w0") is not None
+    clock.advance(11.0)
+    assert queue.requeue_expired() == []  # third expiry buries it
+    assert queue.counts()["dead"] == 1
+    assert queue.claim("w0") is None
+    record = queue.dead()[job.job_id]
+    assert record["attempts"] == queue.max_attempts
+    assert "lease expired" in record["error"]
+    assert record["job"]["params"] == dict(job.params)
+
+
+def test_fail_requeues_then_dead_letters(queue):
+    job = _jobs()[0]
+    queue.enqueue(job)
+    assert queue.fail(queue.claim("w0"), "no GPU") == "requeued"
+    assert queue.fail(queue.claim("w0"), "no GPU") == "requeued"
+    assert queue.fail(queue.claim("w0"), "no GPU") == "dead"
+    assert queue.dead()[job.job_id]["error"] == "no GPU"
+    assert queue.drained()
+
+
+def test_retry_dead_revives_buried_jobs(queue):
+    """Dead-lettering must not strand a persistent queue forever: after
+    the infrastructure failure is fixed, retry_dead() restores the job
+    (with a fresh attempt budget) while enqueue alone refuses to."""
+    job = _jobs()[0]
+    queue.enqueue(job, cost=3.0)
+    for _ in range(queue.max_attempts):
+        queue.fail(queue.claim("w0"), "transient breakage")
+    assert queue.counts()["dead"] == 1
+    queue.enqueue(job)  # replaying the grid does NOT revive buried jobs
+    assert queue.counts()["pending"] == 0
+
+    assert queue.retry_dead() == [job.job_id]
+    assert queue.counts() == {"pending": 1, "claimed": 0, "done": 0, "dead": 0}
+    item = queue.claim("w0")
+    assert item.attempts == 0 and item.cost == 3.0  # budget + priority kept
+    queue.complete(item, execute_job(item.job))
+    assert queue.results()[job.job_id].ok
+    assert queue.retry_dead() == []  # idempotent on an empty dead set
+
+
+def test_completion_after_expiry_requeue_is_harmless(queue, clock):
+    """The double-execution race: worker A's lease expires, B re-runs the
+    job, then A (alive all along, just slow) completes too.  Results are
+    content-derived, so both completions store identical records."""
+    job = _jobs()[0]
+    queue.enqueue(job)
+    item_a = queue.claim("wA")
+    clock.advance(11.0)
+    queue.requeue_expired()
+    item_b = queue.claim("wB")
+    result = execute_job(job)
+    queue.complete(item_b, result)
+    queue.complete(item_a, result)  # late completion: no error, no dup state
+    assert queue.drained()
+    assert queue.counts()["dead"] == 0
+    assert queue.results()[job.job_id].metrics == result.metrics
+
+
+# -- crash consistency ------------------------------------------------------
+
+def test_garbage_ticket_is_claimable_not_fatal(queue, tmp_path):
+    """A truncated/garbage pending ticket must not lose the job: the spec
+    in jobs/ is intact, so the claim proceeds with attempts reset to 0."""
+    job = _jobs()[0]
+    name = queue.enqueue(job)
+    (tmp_path / "q" / "pending" / f"{name}.json").write_text(
+        '{"attempts": 2', encoding="utf-8")  # truncated JSON
+    item = queue.claim("w0")
+    assert item is not None
+    assert item.key == job.job_id
+    assert item.attempts == 0
+    queue.complete(item, execute_job(item.job))
+    assert queue.drained()
+
+
+def test_garbage_lease_reads_as_expired(queue, tmp_path, clock):
+    job = _jobs()[0]
+    name = queue.enqueue(job)
+    assert queue.claim("w0") is not None
+    lease = tmp_path / "q" / "leases" / f"{name}.json"
+    lease.write_text("not json at all", encoding="utf-8")
+    # No clock advance needed: an unreadable lease *file* counts as
+    # expired immediately (lease writes are atomic, so garbage means
+    # external corruption, not a mid-write heartbeat).
+    assert queue.requeue_expired() == [job.job_id]
+    assert queue.claim("w1").attempts == 1
+
+
+def test_missing_lease_gets_claim_window_grace(queue, tmp_path, clock):
+    """claim() commits with the ticket rename and writes the lease a few
+    syscalls later: a scavenger racing through that window must not steal
+    the claim.  Only a claim *older* than a full lease with no lease file
+    (the claimant crashed mid-claim) is requeued."""
+    job = _jobs()[0]
+    name = queue.enqueue(job)
+    assert queue.claim("w0") is not None
+    ticket = tmp_path / "q" / "claimed" / f"{name}.json"
+    os.unlink(tmp_path / "q" / "leases" / f"{name}.json")
+
+    os.utime(ticket, (clock.now - 1.0, clock.now - 1.0))  # young claim
+    assert queue.requeue_expired() == []
+    assert queue.counts()["claimed"] == 1
+
+    os.utime(ticket, (clock.now - 11.0, clock.now - 11.0))  # beyond grace
+    assert queue.requeue_expired() == [job.job_id]
+    assert queue.claim("w1").attempts == 1
+
+
+def test_claim_stamps_ticket_with_claim_time(queue, tmp_path, clock):
+    """os.rename preserves mtime, so claim() must re-stamp the ticket:
+    a job that sat pending longer than a lease, claimed a moment ago,
+    is inside the grace window — not instantly stealable."""
+    job = _jobs()[0]
+    name = queue.enqueue(job)
+    clock.advance(50.0)  # pending far longer than lease_seconds
+    assert queue.claim("w0") is not None
+    os.unlink(tmp_path / "q" / "leases" / f"{name}.json")  # pre-lease window
+    assert queue.requeue_expired() == []  # grace runs from the claim, not
+    assert queue.counts()["claimed"] == 1  # the enqueue write
+
+
+def test_corrupt_job_record_is_dead_lettered_not_fatal(queue, tmp_path):
+    """Only the immutable spec's corruption buries a job — nothing is left
+    to execute — and the rest of the queue keeps flowing."""
+    jobs = _jobs()
+    for job in jobs:
+        queue.enqueue(job)
+    (tmp_path / "q" / "jobs" / f"{jobs[0].job_id}.json").write_text(
+        "{ truncated", encoding="utf-8")
+    claimed = []
+    while True:
+        item = queue.claim("w0")
+        if item is None:
+            break
+        queue.complete(item, execute_job(item.job))
+        claimed.append(item.key)
+    assert len(claimed) == 3  # the other three jobs were unaffected
+    assert queue.counts()["dead"] == 1
+    assert "corrupt job record" in queue.dead()[jobs[0].job_id]["error"]
+
+
+def test_foreign_files_in_state_dirs_are_ignored(queue, tmp_path):
+    (tmp_path / "q" / "pending" / "README.json").write_text(
+        "{}", encoding="utf-8")  # no priority prefix: not a ticket
+    (tmp_path / "q" / "pending" / "notes.txt").write_text(
+        "hi", encoding="utf-8")
+    assert queue.claim("w0") is None
+    job = _jobs()[0]
+    queue.enqueue(job)
+    assert queue.claim("w0") is not None
+
+
+def test_duplicate_pending_and_claimed_state_heals(queue, tmp_path):
+    """A ticket present in both pending/ and claimed/ (external corruption
+    or legacy crash residue) folds back into a single pending ticket via
+    an atomic rename — never an unlink that could strand a racing claim.
+    The conservative claimed-side attempt count wins."""
+    job = _jobs()[0]
+    name = queue.enqueue(job)
+    queue.claim("w0")
+    (tmp_path / "q" / "pending" / f"{name}.json").write_text(
+        json.dumps({"attempts": 1}), encoding="utf-8")
+    queue.requeue_expired()
+    assert queue.counts()["pending"] == 1
+    assert queue.counts()["claimed"] == 0
+    assert queue.claim("w0").attempts == 0
+
+
+def test_queue_config_is_shared_across_opens(tmp_path):
+    WorkQueue(tmp_path / "q", lease_seconds=5.0, max_attempts=7)
+    reopened = WorkQueue(tmp_path / "q", lease_seconds=99.0, max_attempts=1)
+    assert reopened.lease_seconds == 5.0
+    assert reopened.max_attempts == 7
+
+
+def test_invalid_config_is_rejected_without_poisoning_the_directory(tmp_path):
+    with pytest.raises(ValueError):
+        WorkQueue(tmp_path / "q", lease_seconds=0.0)
+    # The bad call must not have persisted its config: a valid open works.
+    queue = WorkQueue(tmp_path / "q", lease_seconds=5.0)
+    assert queue.lease_seconds == 5.0
+
+
+def test_corrupt_result_file_is_skipped(queue, tmp_path):
+    job = _jobs()[0]
+    queue.enqueue(job)
+    item = queue.claim("w0")
+    queue.complete(item, execute_job(item.job))
+    (tmp_path / "q" / "results" / f"{job.job_id}.json").write_text(
+        "{ nope", encoding="utf-8")
+    assert queue.results() == {}  # unreadable record, not a crash
+
+
+# -- cost model -------------------------------------------------------------
+
+def test_cost_model_orders_longest_first(tmp_path):
+    jobs = _jobs()
+    model = CostModel(tmp_path / "costmodel.json")
+    walls = [0.5, 8.0, 2.0, 4.0]
+    for job, wall in zip(jobs, walls):
+        model.observe(JobResult(job_id=job.job_id, case=job.case,
+                                params=job.params, seed=job.seed,
+                                metrics={}, wall_time=wall))
+    ordered = model.order(jobs)
+    assert [model.estimate(job) for job in ordered] == sorted(walls,
+                                                              reverse=True)
+    model.save()
+
+    # Reload: exact estimates survive, unseen jobs fall back to case mean.
+    reloaded = CostModel(tmp_path / "costmodel.json")
+    assert reloaded.estimate(jobs[1]) == 8.0
+    unseen = _spec(grid={"workers": [5], "tasks": [99]}).expand()[0]
+    assert reloaded.estimate(unseen) == pytest.approx(sum(walls) / len(walls))
+
+
+def test_cost_model_ignores_cached_results_and_survives_corruption(tmp_path):
+    path = tmp_path / "costmodel.json"
+    model = CostModel(path)
+    job = _jobs()[0]
+    model.observe(JobResult(job_id=job.job_id, case=job.case,
+                            params=job.params, seed=job.seed,
+                            wall_time=3.0, cached=True))
+    assert model.estimate(job) == 1.0  # cached runs teach nothing
+    path.write_text("garbage{", encoding="utf-8")
+    assert CostModel(path).estimate(job) == 1.0  # corrupt model == empty
+    # Valid JSON with corrupt field types must degrade, not raise.
+    path.write_text(json.dumps({
+        "exact": {"a-job": "fast", "b-job": True},
+        "cases": {"synthetic": {"count": None, "mean": "oops"},
+                  "platform": "not-a-dict"},
+    }), encoding="utf-8")
+    assert CostModel(path).estimate(job) == 1.0
+    # Non-finite values round-trip through json; they must be dropped, and
+    # the priority encoding must clamp rather than overflow either way.
+    path.write_text(json.dumps({
+        "exact": {job.job_id: float("inf")},
+        "cases": {"synthetic": {"count": 1.0, "mean": float("nan")}},
+    }), encoding="utf-8")
+    assert CostModel(path).estimate(job) == 1.0
+    for weird in (float("inf"), float("-inf"), float("nan")):
+        assert len(priority_for_cost(weird)) == 10
