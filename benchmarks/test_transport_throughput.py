@@ -1,0 +1,88 @@
+"""Micro-benchmark: work-queue cycle throughput across the transports.
+
+Measures full queue cycles — enqueue, claim (conditional-create CAS),
+complete (result write + retirement) — per second over each
+:class:`~repro.campaign.dist.transport.QueueTransport` backend, in one
+process back-to-back so machine noise hits all sides alike.
+
+This is scheduling *overhead*, not simulation work: the numbers bound how
+small a job can be before queue bookkeeping dominates.  Expected shape:
+memory ≫ filesystem ≫ HTTP (each cycle over the broker is ~10 round
+trips), with the absolute floors asserted loose enough to survive CI
+hosts.  Opt-in via ``pytest -m bench``.
+"""
+
+import time
+
+import pytest
+
+from repro.campaign import SweepSpec
+from repro.campaign.dist import (
+    FsTransport,
+    HttpTransport,
+    MemoryTransport,
+    WorkQueue,
+)
+from repro.campaign.dist.server import Broker
+from repro.campaign.jobs import JobResult
+
+pytestmark = pytest.mark.bench
+
+#: Queue cycles per measured round.
+N_JOBS = 60
+
+
+def _jobs(n):
+    spec = SweepSpec(name="queue-bench", case="synthetic",
+                     base={"rate": 150.0}, grid={"tasks": list(range(n))})
+    return spec.expand()
+
+
+def _cycle_rate(transport, jobs):
+    """Full enqueue→claim→complete cycles per second over ``transport``."""
+    queue = WorkQueue(transport=transport, lease_seconds=60.0)
+    start = time.perf_counter()
+    for job in jobs:
+        queue.enqueue(job)
+    settled = 0
+    while True:
+        item = queue.claim("bench-worker")
+        if item is None:
+            break
+        queue.complete(item, JobResult(
+            job_id=item.key, case=item.job.case, params=item.job.params,
+            seed=item.job.seed, metrics={"x": 1.0}, wall_time=0.001))
+        settled += 1
+    elapsed = time.perf_counter() - start
+    assert settled == len(jobs)
+    assert queue.drained()
+    return settled / elapsed
+
+
+@pytest.fixture(scope="module")
+def rates(tmp_path_factory):
+    jobs = _jobs(N_JOBS)
+    root = tmp_path_factory.mktemp("transport-bench")
+    out = {"memory": _cycle_rate(MemoryTransport(), jobs),
+           "fs": _cycle_rate(FsTransport(root / "fs-queue"), jobs)}
+    with Broker() as broker:
+        out["http"] = _cycle_rate(
+            HttpTransport(broker.url, retries=1), jobs)
+    return out
+
+
+def test_report_and_floor_cycle_rates(rates):
+    for name, rate in sorted(rates.items(), key=lambda kv: -kv[1]):
+        print(f"\n{name:>7}: {rate:8,.0f} queue cycles/s")
+    # Loose floors: a cycle is ~10 small-document operations, so even the
+    # HTTP broker (localhost, one mutation lock) should sustain tens of
+    # cycles per second on any CI host.
+    assert rates["memory"] > 200.0
+    assert rates["fs"] > 50.0
+    assert rates["http"] > 10.0
+
+
+def test_memory_transport_is_the_fast_path(rates):
+    """The in-process store exists to make many-tiny-job fleets cheap: it
+    must comfortably outpace the network hop."""
+    assert rates["memory"] > rates["http"]

@@ -27,9 +27,15 @@ early via :func:`~repro.campaign.dist.incremental.snapshot_campaign`.
 from repro.campaign.aggregate import CampaignResult
 from repro.campaign.cache import PHYSICS_VERSION, ResultCache, default_cache_dir
 from repro.campaign.dist import (
+    AutoscalePolicy,
     CampaignSnapshot,
     CostModel,
     DistributedExecutor,
+    FsTransport,
+    HttpTransport,
+    MemoryTransport,
+    QueueTransport,
+    TransportError,
     WorkQueue,
     snapshot_campaign,
 )
@@ -52,12 +58,18 @@ from repro.campaign.spec import JobSpec, SpecError, SweepSpec, canonical_json
 
 __all__ = [
     "AsyncExecutor",
+    "AutoscalePolicy",
     "CampaignResult",
     "CampaignSnapshot",
     "CostModel",
     "DistributedExecutor",
+    "FsTransport",
+    "HttpTransport",
     "JobResult",
     "JobSpec",
+    "MemoryTransport",
+    "QueueTransport",
+    "TransportError",
     "MultiprocessingExecutor",
     "PHYSICS_VERSION",
     "ResultCache",

@@ -58,10 +58,12 @@ class CampaignResult:
 
     @property
     def ok(self) -> bool:
+        """True when every job completed without a captured error."""
         return all(result.ok for result in self.results)
 
     @property
     def failures(self) -> List[JobResult]:
+        """The jobs that completed with an error, in job order."""
         return [result for result in self.results if not result.ok]
 
     # -- table shape -------------------------------------------------------
@@ -97,6 +99,7 @@ class CampaignResult:
         return [p[0] for p in points], [p[1] for p in points]
 
     def group_by(self, param: str) -> Dict[Any, List[JobResult]]:
+        """Results bucketed by one swept parameter's value (job order kept)."""
         groups: Dict[Any, List[JobResult]] = {}
         for result in self.results:
             groups.setdefault(result.params.get(param), []).append(result)
@@ -104,10 +107,12 @@ class CampaignResult:
 
     # -- scalar summaries --------------------------------------------------
     def metric(self, y: str, where: Optional[Dict[str, Any]] = None) -> List[float]:
+        """Every value of metric ``y`` (optionally filtered), in job order."""
         return [result.metrics[y] for result in self.results
                 if _matches(result, where) and y in result.metrics]
 
     def mean(self, y: str, where: Optional[Dict[str, Any]] = None) -> float:
+        """Arithmetic mean of metric ``y``; raises ``KeyError`` if absent."""
         values = self.metric(y, where)
         if not values:
             raise KeyError(f"no values for metric {y!r}")
@@ -115,6 +120,8 @@ class CampaignResult:
 
     def best(self, y: str, minimize: bool = True,
              where: Optional[Dict[str, Any]] = None) -> JobResult:
+        """The job minimizing (or maximizing) metric ``y``; raises
+        ``KeyError`` when no matching job carries the metric."""
         candidates = [result for result in self.results
                       if _matches(result, where) and y in result.metrics]
         if not candidates:
@@ -146,6 +153,7 @@ class CampaignResult:
         return hashlib.sha256(payload.encode()).hexdigest()
 
     def summary(self) -> str:
+        """One human-readable line: job/cache counts, executor, wall time."""
         cached = sum(1 for result in self.results if result.cached)
         status = "ok" if self.ok else f"{len(self.failures)} FAILED"
         return (f"campaign {self.spec.name!r}: {len(self.results)} jobs "

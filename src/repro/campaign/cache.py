@@ -33,6 +33,7 @@ DEFAULT_CACHE_DIR = "~/.cache/repro-campaigns"
 
 
 def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CAMPAIGN_CACHE`` or ``~/.cache/repro-campaigns``."""
     root = os.environ.get("REPRO_CAMPAIGN_CACHE", DEFAULT_CACHE_DIR)
     return Path(root).expanduser()
 
@@ -62,6 +63,8 @@ class ResultCache:
 
     # -- keying ------------------------------------------------------------
     def key(self, job: JobSpec) -> str:
+        """Content hash of what the job computes (case, params, seed,
+        repeat, physics version) — the cache's only addressing scheme."""
         payload = canonical_json({
             "case": job.case,
             "params": dict(job.params),
@@ -72,6 +75,7 @@ class ResultCache:
         return hashlib.sha256(payload.encode()).hexdigest()[:40]
 
     def path(self, job: JobSpec) -> Path:
+        """On-disk location of ``job``'s entry (whether or not it exists)."""
         key = self.key(job)
         # Two-level fan-out keeps directories small for big campaigns.
         return self.root / key[:2] / f"{key}.json"
@@ -123,4 +127,6 @@ class ResultCache:
         return sum(1 for _ in self.root.glob("*/*.json"))
 
     def stats(self) -> Dict[str, int]:
+        """This instance's probe counters plus the on-disk entry count
+        (see the class note: counters are per-instance, per-process)."""
         return {"hits": self.hits, "misses": self.misses, "entries": len(self)}

@@ -1,17 +1,27 @@
-"""Distributed campaign execution: durable queue, worker fleet, scheduling.
+"""Distributed campaign execution: durable queue, transports, worker fleet.
 
-The ROADMAP's distributed-executor seam, realized as four cooperating
-pieces, all file/JSON-backed so any mix of processes (and, over a shared
-filesystem, hosts) can participate:
+The ROADMAP's distributed-executor seam, realized as cooperating pieces
+that any mix of threads, processes and hosts can participate in:
 
-* :class:`~repro.campaign.dist.queue.WorkQueue` — durable work queue with
-  atomic claim/lease/complete transitions, heartbeat-renewed leases, a
-  retry policy and a max-attempt dead-letter state;
+* :class:`~repro.campaign.dist.transport.QueueTransport` — the pluggable
+  storage contract (get/put/compare-and-swap/list/delete on opaque keys)
+  with three implementations: :class:`~repro.campaign.dist.transport.
+  FsTransport` (shared directory), :class:`~repro.campaign.dist.transport.
+  MemoryTransport` (in-process, thread fleets) and
+  :class:`~repro.campaign.dist.transport.HttpTransport` (S3-style REST
+  against the :mod:`repro.campaign.dist.server` broker,
+  ``python -m repro.campaign.dist.server``);
+* :class:`~repro.campaign.dist.queue.WorkQueue` — durable work queue over
+  any transport, with conditional-create claims whose documents double as
+  heartbeat-renewed leases, a retry policy and a max-attempt dead-letter
+  state (``retry_dead()`` is the recovery path);
 * :class:`~repro.campaign.dist.worker.Worker` (CLI:
-  ``python -m repro.campaign.dist.worker --queue DIR``) — the claim,
-  cache-deduplicate, execute, heartbeat loop;
+  ``python -m repro.campaign.dist.worker --queue DIR_OR_URL``) — the
+  claim, cache-deduplicate, execute, heartbeat loop;
 * :class:`~repro.campaign.dist.costmodel.CostModel` — per-case runtime
-  estimates learned from prior results, driving longest-job-first order;
+  estimates learned from prior results, driving longest-job-first order —
+  and :class:`~repro.campaign.dist.costmodel.AutoscalePolicy`, which turns
+  queue depth and cost backlog into a desired fleet size;
 * :func:`~repro.campaign.dist.incremental.snapshot_campaign` — incremental
   aggregation: a partially drained grid is already queryable, with explicit
   pending/running/failed accounting;
@@ -19,31 +29,62 @@ filesystem, hosts) can participate:
   together behind the same ``map(fn, jobs)`` seam as the in-process
   executors, so ``run_campaign(spec, executor=DistributedExecutor(...))``
   is the only change a campaign needs.
+
+Architecture notes live in ``docs/architecture.md``; the queue state
+machine, transports and operational recipes in ``docs/distributed.md``
+and ``docs/cookbook.md``.
 """
 
-from repro.campaign.dist.costmodel import CostModel
+from repro.campaign.dist.costmodel import AutoscalePolicy, CostModel
 from repro.campaign.dist.executor import DistributedExecutor
 from repro.campaign.dist.incremental import CampaignSnapshot, snapshot_campaign
-from repro.campaign.dist.queue import WorkItem, WorkQueue, priority_for_cost
+from repro.campaign.dist.queue import (
+    WorkItem,
+    WorkQueue,
+    cost_for_priority,
+    priority_for_cost,
+)
+from repro.campaign.dist.transport import (
+    FsTransport,
+    HttpTransport,
+    MemoryTransport,
+    QueueTransport,
+    TransportError,
+    transport_from_address,
+)
 
 
 def __getattr__(name: str):
-    # Lazy so `python -m repro.campaign.dist.worker` does not find the
-    # module pre-imported in sys.modules (runpy's double-import warning).
+    # Lazy so `python -m repro.campaign.dist.worker` (and .server) do not
+    # find the module pre-imported in sys.modules (runpy's double-import
+    # warning).
     if name == "Worker":
         from repro.campaign.dist.worker import Worker
 
         return Worker
+    if name == "Broker":
+        from repro.campaign.dist.server import Broker
+
+        return Broker
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
+    "AutoscalePolicy",
+    "Broker",
     "CampaignSnapshot",
     "CostModel",
     "DistributedExecutor",
+    "FsTransport",
+    "HttpTransport",
+    "MemoryTransport",
+    "QueueTransport",
+    "TransportError",
     "WorkItem",
     "WorkQueue",
     "Worker",
+    "cost_for_priority",
     "priority_for_cost",
     "snapshot_campaign",
+    "transport_from_address",
 ]

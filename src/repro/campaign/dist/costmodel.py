@@ -1,4 +1,4 @@
-"""Per-case runtime estimates for longest-job-first campaign scheduling.
+"""Cost-driven scheduling: runtime estimates and worker autoscaling.
 
 Fanning a grid out over a worker pool suffers stragglers when a long job is
 claimed last; ordering the queue by *descending estimated runtime* keeps the
@@ -8,7 +8,7 @@ wall time, and :func:`~repro.campaign.runner.run_campaign` feeds fresh
 results into the model persisted alongside the result cache — so the second
 campaign over a similar grid is scheduled from the first one's measurements.
 
-Two granularities back an estimate:
+Two granularities back a :class:`CostModel` estimate:
 
 * an exact per-job EWMA keyed by ``job_id`` (re-runs of the very same
   configuration, e.g. after a physics bump or a widened grid);
@@ -16,14 +16,23 @@ Two granularities back an estimate:
 
 Unknown cases fall back to a neutral constant, which degrades to FIFO
 ordering — correct, just not optimized.
+
+The same cost signal sizes the fleet: :class:`AutoscalePolicy` turns the
+queue's claimable depth and its priority-decoded cost backlog (both
+computed from listings alone — see
+:meth:`~repro.campaign.dist.queue.WorkQueue.backlog`) into a desired
+worker count that
+:class:`~repro.campaign.dist.executor.DistributedExecutor` consults each
+scheduling tick instead of spawning a fixed fleet.
 """
 
 from __future__ import annotations
 
 import math
 import os
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Mapping, Optional
 
 from repro.campaign.jobs import JobResult
 from repro.campaign.jsonio import atomic_write_json, read_json_or_none
@@ -77,6 +86,7 @@ class CostModel:
         stats["mean"] += (wall - stats["mean"]) / stats["count"]
 
     def observe_many(self, results: Iterable[JobResult]) -> None:
+        """Fold a batch of executed results into the model (see :meth:`observe`)."""
         for result in results:
             self.observe(result)
 
@@ -149,3 +159,83 @@ class CostModel:
     def __repr__(self) -> str:
         return (f"CostModel(jobs={len(self._exact)}, "
                 f"cases={sorted(self._cases)})")
+
+
+@dataclass
+class AutoscalePolicy:
+    """Sizes a worker fleet from queue depth and cost-model backlog.
+
+    :class:`~repro.campaign.dist.executor.DistributedExecutor` consults
+    the policy on every scheduling tick: it *grows* the fleet by spawning
+    workers up to :meth:`desired_workers`, and *shrinks* it by attrition —
+    autoscaled workers run with ``idle_timeout``, so a worker that finds
+    no claimable ticket for that long exits on its own.  Shrinking by
+    starvation (rather than terminating processes) can never kill a
+    worker mid-job, so scale-down consumes no retry attempts.
+
+    Two signals drive the target, both computed from queue listings alone
+    (:meth:`~repro.campaign.dist.queue.WorkQueue.backlog`):
+
+    * **queue depth** — one worker per ``jobs_per_worker`` claimable
+      tickets;
+    * **cost backlog** — when ``backlog_seconds`` is set, enough workers
+      that the estimated sequential runtime of the unclaimed tickets
+      (decoded from their priority-encoded names, i.e. the cost model's
+      estimates at enqueue time) divides below that bound.
+
+    The larger demand wins, clamped into ``[min_workers, max_workers]``
+    while work remains; with nothing claimable the target is zero (running
+    jobs still finish — nothing preempts a claim).
+
+    >>> policy = AutoscalePolicy(min_workers=1, max_workers=4,
+    ...                          jobs_per_worker=4.0, backlog_seconds=60.0)
+    >>> policy.desired_workers(pending=8, backlog=30.0)   # depth: 8/4
+    2
+    >>> policy.desired_workers(pending=2, backlog=600.0)  # backlog: 600/60
+    4
+    >>> policy.desired_workers(pending=0, backlog=0.0)
+    0
+    """
+
+    min_workers: int = 1
+    max_workers: int = 8
+    jobs_per_worker: float = 4.0
+    backlog_seconds: float = 0.0
+    #: Idle seconds after which an autoscaled worker exits (the shrink path).
+    idle_timeout: float = 2.0
+
+    def __post_init__(self):
+        if self.min_workers < 0:
+            raise ValueError("min_workers must be >= 0")
+        if self.max_workers < max(1, self.min_workers):
+            raise ValueError("max_workers must be >= max(1, min_workers)")
+        if self.jobs_per_worker <= 0:
+            raise ValueError("jobs_per_worker must be positive")
+        if self.backlog_seconds < 0:
+            raise ValueError("backlog_seconds must be >= 0")
+        if self.idle_timeout <= 0:
+            raise ValueError("idle_timeout must be positive")
+
+    def desired_workers(self, pending: float, backlog: float) -> int:
+        """Target fleet size for ``pending`` claimable tickets whose summed
+        cost estimate is ``backlog`` seconds.  Zero when nothing is
+        claimable."""
+        if pending <= 0:
+            return 0
+        by_depth = math.ceil(pending / self.jobs_per_worker)
+        by_backlog = (math.ceil(backlog / self.backlog_seconds)
+                      if self.backlog_seconds > 0 else 0)
+        return min(self.max_workers,
+                   max(self.min_workers, 1, by_depth, by_backlog))
+
+    def desired_from(self, backlog: Mapping[str, float]) -> int:
+        """:meth:`desired_workers` over a
+        :meth:`~repro.campaign.dist.queue.WorkQueue.backlog` mapping."""
+        return self.desired_workers(pending=backlog.get("pending", 0.0),
+                                    backlog=backlog.get("seconds", 0.0))
+
+    def __repr__(self) -> str:
+        return (f"AutoscalePolicy(min={self.min_workers}, "
+                f"max={self.max_workers}, "
+                f"jobs_per_worker={self.jobs_per_worker}, "
+                f"backlog_seconds={self.backlog_seconds})")

@@ -6,10 +6,28 @@ expands the grid, probes the cache, and aggregates — this executor only
 changes *where* the pending jobs run.  ``map`` enqueues the jobs into a
 durable :class:`~repro.campaign.dist.queue.WorkQueue` (ordered
 longest-job-first by the learned :class:`~repro.campaign.dist.costmodel.
-CostModel`), spawns N local worker processes running
-``python -m repro.campaign.dist.worker``, and blocks — scavenging expired
-leases and respawning dead workers — until every job reaches a terminal
+CostModel`), brings up a worker fleet, and blocks — scavenging expired
+leases and replacing dead workers — until every job reaches a terminal
 state or the timeout expires.
+
+The queue's storage is pluggable (:mod:`repro.campaign.dist.transport`):
+
+* a **directory** (``queue_dir`` or a path-string ``transport``) spawns
+  worker *processes* sharing the filesystem — the classic mode;
+* an **``http://`` broker URL** spawns worker processes that talk to
+  :mod:`repro.campaign.dist.server` — campaigns spanning hosts without a
+  shared filesystem;
+* an address-less transport (e.g.
+  :class:`~repro.campaign.dist.transport.MemoryTransport`) runs the fleet
+  as *threads* in this process — no spawn cost, ideal for tests and
+  many-tiny-job grids.
+
+Fleet size is either fixed (``workers=N``, the default) or governed by an
+:class:`~repro.campaign.dist.costmodel.AutoscalePolicy`: each scheduling
+tick the executor compares the policy's desired worker count (queue depth
+and cost backlog driven) with the live fleet and spawns the difference;
+autoscaled workers run with an idle timeout, so the fleet *shrinks* by
+starvation — never by preempting a running job.
 
 The determinism contract survives distribution: job seeds are bound into
 the :class:`~repro.campaign.spec.JobSpec` before submission and results are
@@ -17,11 +35,11 @@ keyed by content, so the aggregate is bit-identical to a serial run no
 matter how many workers participated, which ones crashed, or how often a
 job was retried.
 
-With ``workers=0`` the fleet is external: ``map`` runs one in-process
-worker loop to guarantee progress, and any separately launched workers
-pointed at ``queue_dir`` join in (the zero-worker mode is also what the
-crash-free unit tests use — the whole queue protocol without process
-spawns).
+With ``workers=0`` and no autoscale policy the fleet is external: ``map``
+runs one in-process worker loop to guarantee progress, and any separately
+launched workers pointed at the same queue join in (the zero-worker mode
+is also what the crash-free unit tests use — the whole queue protocol
+without process spawns).
 """
 
 from __future__ import annotations
@@ -31,13 +49,19 @@ import shutil
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 from pathlib import Path
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.campaign.cache import ResultCache
-from repro.campaign.dist.costmodel import CostModel
+from repro.campaign.dist.costmodel import AutoscalePolicy, CostModel
 from repro.campaign.dist.queue import WorkQueue
+from repro.campaign.dist.transport import (
+    QueueTransport,
+    TransportError,
+    transport_from_address,
+)
 from repro.campaign.jobs import JobResult, execute_job
 from repro.campaign.spec import JobSpec
 
@@ -49,18 +73,78 @@ def _src_root() -> str:
     return str(Path(repro.__file__).resolve().parents[1])
 
 
+class _ThreadWorkerHandle:
+    """A thread-hosted worker with the ``subprocess.Popen`` control surface.
+
+    Lets :meth:`DistributedExecutor._wait_for_drain` manage process and
+    thread fleets through one API: ``poll()`` returns ``None`` while the
+    worker runs, then an exit code (0 clean, 42 injected crash, 3
+    transport failure, 1 unexpected error).
+    """
+
+    def __init__(self, worker: Any):
+        self.worker = worker
+        self.returncode: Optional[int] = None
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name=f"worker-{worker.worker_id}")
+        self._thread.start()
+
+    def _run(self) -> None:
+        from repro.campaign.dist.worker import WorkerCrash
+
+        try:
+            self.worker.run()
+            self.returncode = 0
+        except WorkerCrash:
+            self.returncode = 42   # injected crash: lease left dangling
+        except TransportError:
+            self.returncode = 3
+        except Exception:  # noqa: BLE001 - surfaced via exit code
+            self.returncode = 1
+
+    def poll(self) -> Optional[int]:
+        if self._thread.is_alive():
+            return None
+        return self.returncode if self.returncode is not None else 0
+
+    def terminate(self) -> None:
+        # Threads cannot be preempted: retract the claim budget so the
+        # worker stops after its current job (claims are not preemptible,
+        # matching process workers' SIGTERM-between-jobs behavior).
+        self.worker.deadline = 0.0
+
+    def wait(self, timeout: Optional[float] = None) -> Optional[int]:
+        self._thread.join(timeout)
+        return self.poll()
+
+    def kill(self) -> None:  # pragma: no cover - nothing stronger exists
+        self.terminate()
+
+
 class DistributedExecutor:
-    """Run campaign jobs across a fleet of worker processes.
+    """Run campaign jobs across a fleet of worker processes or threads.
 
     Parameters
     ----------
     queue_dir:
         Durable queue directory, shared with the workers.  ``None`` uses a
         per-``map`` temporary directory, removed after a clean drain.
+        Shorthand for ``transport=str(queue_dir)``.
+    transport:
+        Where the queue lives: a
+        :class:`~repro.campaign.dist.transport.QueueTransport` instance,
+        a queue-directory path, or an ``http://`` broker URL (see the
+        module docstring for how each shapes the fleet).  Overrides
+        ``queue_dir``.
     workers:
-        Local worker processes to spawn per ``map`` call.  ``0`` means the
-        fleet is external (or in-process): ``map`` drains the queue with an
-        inline worker loop instead of spawning.
+        Fixed fleet size per ``map`` call.  ``0`` means the fleet is
+        external (or in-process): ``map`` drains the queue with an inline
+        worker loop instead of spawning.  Ignored when ``autoscale`` is
+        given.
+    autoscale:
+        An :class:`~repro.campaign.dist.costmodel.AutoscalePolicy`; the
+        executor consults it each scheduling tick and grows/shrinks the
+        fleet instead of spawning a fixed count.
     cache / cache_dir:
         Shared result cache the *workers* probe before and after running —
         the cross-worker deduplication layer.  Pass the same cache to
@@ -71,15 +155,20 @@ class DistributedExecutor:
         campaigns teach the scheduler.
     lease_seconds / max_attempts:
         Queue retry policy (see :class:`~repro.campaign.dist.queue.WorkQueue`).
-        Applied when ``map`` creates a fresh queue directory; an existing
-        queue keeps its persisted policy.
+        Applied when ``map`` creates a fresh queue; an existing queue
+        keeps its persisted policy.
     timeout:
         Upper bound on one ``map`` call's wall time.  On expiry a
         ``TimeoutError`` carries the queue state summary.
     worker_extra_args:
         Per-worker extra CLI arguments (``worker_extra_args[i]`` is
-        appended to worker *i*'s command line) — used by the crash-injection
-        tests and available for ad-hoc debugging flags.
+        appended to worker *i*'s command line) — used by the
+        crash-injection tests and available for ad-hoc debugging flags.
+        Process fleets only.
+    worker_options:
+        Per-worker extra :class:`~repro.campaign.dist.worker.Worker`
+        keyword arguments (``worker_options[i]`` for worker *i*) — the
+        thread-fleet analogue of ``worker_extra_args``.
     """
 
     name = "distributed"
@@ -94,12 +183,16 @@ class DistributedExecutor:
                  max_attempts: int = 3,
                  poll_interval: float = 0.05,
                  timeout: float = 600.0,
+                 transport: Union[QueueTransport, str, None] = None,
+                 autoscale: Optional[AutoscalePolicy] = None,
                  worker_extra_args: Optional[Sequence[Sequence[str]]] = None,
+                 worker_options: Optional[Sequence[Dict[str, Any]]] = None,
                  progress: Optional[Callable[[str], None]] = None):
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self.queue_dir = Path(queue_dir) if queue_dir is not None else None
         self.workers = workers
+        self.autoscale = autoscale
         if cache is None and cache_dir is not None:
             cache = ResultCache(cache_dir)
         self.cache = cache
@@ -108,12 +201,18 @@ class DistributedExecutor:
         self.max_attempts = max_attempts
         self.poll_interval = poll_interval
         self.timeout = timeout
+        self.transport = transport
         self.worker_extra_args = [list(args)
                                   for args in (worker_extra_args or [])]
+        self.worker_options = [dict(options)
+                               for options in (worker_options or [])]
         self._say = progress or (lambda _line: None)
         #: Queue of the most recent ``map`` call, for inspection/snapshots.
         self.last_queue: Optional[WorkQueue] = None
         self.respawns = 0
+        #: Workers brought up over this executor's lifetime (autoscale
+        #: telemetry; includes respawns).
+        self.spawned_total = 0
 
     @property
     def learns_costs(self) -> bool:
@@ -126,9 +225,26 @@ class DistributedExecutor:
             return self.cost_model.path is not None
         return self.cache is not None
 
+    # -- transport resolution ----------------------------------------------
+    def _resolve_transport(self):
+        """Returns ``(transport, temp_dir)``; ``temp_dir`` is set when the
+        queue lives in a per-``map`` temporary directory we must clean."""
+        if isinstance(self.transport, QueueTransport):
+            return self.transport, None
+        if self.transport is not None:
+            return transport_from_address(self.transport), None
+        if self.queue_dir is not None:
+            return transport_from_address(self.queue_dir), None
+        temp_dir = tempfile.mkdtemp(prefix="repro-campaign-queue-")
+        return transport_from_address(temp_dir), temp_dir
+
     # -- the executor seam -------------------------------------------------
     def map(self, fn: Callable[[JobSpec], JobResult],
             items: Sequence[JobSpec]) -> List[JobResult]:
+        """Enqueue ``items``, drain them through the fleet, and return
+        results in input order.  ``fn`` must be ``execute_job`` (workers
+        always run it); raises ``TimeoutError`` when the queue does not
+        drain in time and ``RuntimeError`` when workers cannot start."""
         if fn is not execute_job:
             raise ValueError(
                 "DistributedExecutor ships JobSpecs to workers that always "
@@ -137,13 +253,9 @@ class DistributedExecutor:
         if not jobs:
             return []
 
-        temp_dir = None
-        if self.queue_dir is None:
-            temp_dir = tempfile.mkdtemp(prefix="repro-campaign-queue-")
-            queue_root = Path(temp_dir)
-        else:
-            queue_root = self.queue_dir
-        queue = WorkQueue(queue_root, lease_seconds=self.lease_seconds,
+        transport, temp_dir = self._resolve_transport()
+        queue = WorkQueue(transport=transport,
+                          lease_seconds=self.lease_seconds,
                           max_attempts=self.max_attempts)
         self.last_queue = queue
 
@@ -152,34 +264,38 @@ class DistributedExecutor:
             cost_model = (CostModel.alongside(self.cache)
                           if self.cache is not None else CostModel())
         queue.enqueue_grid(jobs, cost_model=cost_model)
-        self._say(f"enqueued {len(jobs)} jobs into {queue_root} "
-                  f"(longest-first, {self.workers} workers)")
+        fleet = (f"autoscale {self.autoscale!r}" if self.autoscale
+                 else f"{self.workers} workers")
+        self._say(f"enqueued {len(jobs)} jobs into "
+                  f"{queue.address or transport!r} (longest-first, {fleet})")
 
-        procs: List[subprocess.Popen] = []
+        handles: List[Any] = []
         deadline = time.monotonic() + self.timeout
         try:
-            if self.workers > 0:
-                procs = [self._spawn_worker(queue_root, index)
-                         for index in range(self.workers)]
-                self._wait_for_drain(queue, jobs, procs, deadline)
+            initial = self._initial_fleet_size(queue)
+            if initial > 0 or self.autoscale is not None:
+                handles = [self._spawn(queue, index)
+                           for index in range(initial)]
+                self._wait_for_drain(queue, jobs, handles, deadline)
             else:
                 # Imported here, not at module top: keeps the worker module
                 # out of sys.modules for `python -m ...dist.worker` runs.
                 from repro.campaign.dist.worker import Worker
 
-                Worker(queue, cache=self.cache, poll_interval=self.poll_interval,
+                Worker(queue, cache=self.cache,
+                       poll_interval=self.poll_interval,
                        exit_when_drained=True, worker_id="inline",
                        deadline=deadline).run()
-                self._wait_for_drain(queue, jobs, procs, deadline)
+                self._wait_for_drain(queue, jobs, handles, deadline)
         finally:
-            for proc in procs:
-                if proc.poll() is None:
-                    proc.terminate()
-            for proc in procs:
+            for handle in handles:
+                if handle.poll() is None:
+                    handle.terminate()
+            for handle in handles:
                 try:
-                    proc.wait(timeout=10.0)
+                    handle.wait(timeout=10.0)
                 except subprocess.TimeoutExpired:  # pragma: no cover
-                    proc.kill()
+                    handle.kill()
 
         results = self._collect(queue, jobs)
         cost_model.observe_many(result for result in results
@@ -190,67 +306,139 @@ class DistributedExecutor:
         return results
 
     # -- fleet management --------------------------------------------------
-    def _worker_command(self, queue_root: Path, index: int) -> List[str]:
+    def _initial_fleet_size(self, queue: WorkQueue) -> int:
+        if self.autoscale is None:
+            return self.workers
+        return self.autoscale.desired_from(queue.backlog())
+
+    def _spawn(self, queue: WorkQueue, index: int) -> Any:
+        """Bring up worker ``index``: a process when the queue is
+        addressable from outside this process, a thread otherwise."""
+        self.spawned_total += 1
+        if queue.address is not None:
+            return self._spawn_worker_process(queue, index)
+        return self._spawn_worker_thread(queue, index)
+
+    def _worker_command(self, queue_address: str, index: int) -> List[str]:
         cmd = [sys.executable, "-m", "repro.campaign.dist.worker",
-               "--queue", str(queue_root),
+               "--queue", str(queue_address),
                "--exit-when-drained",
                "--quiet",
                "--poll-interval", str(self.poll_interval),
                "--worker-id", f"w{index}-{os.getpid()}"]
+        if self.autoscale is not None:
+            cmd += ["--idle-timeout", str(self.autoscale.idle_timeout)]
         if self.cache is not None:
             cmd += ["--cache", str(self.cache.root)]
         if index < len(self.worker_extra_args):
             cmd += [str(arg) for arg in self.worker_extra_args[index]]
         return cmd
 
-    def _spawn_worker(self, queue_root: Path, index: int) -> subprocess.Popen:
+    def _spawn_worker_process(self, queue: WorkQueue,
+                              index: int) -> subprocess.Popen:
         env = os.environ.copy()
         src = _src_root()
         env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
                              if env.get("PYTHONPATH") else src)
-        log_path = queue_root / f"worker-{index}.log"
+        log_dir = queue.root if queue.root is not None else Path(
+            tempfile.gettempdir())
+        log_path = log_dir / f"worker-{index}.log"
         with open(log_path, "ab") as log:
-            return subprocess.Popen(self._worker_command(queue_root, index),
-                                    env=env, stdout=log,
-                                    stderr=subprocess.STDOUT)
+            return subprocess.Popen(
+                self._worker_command(queue.address, index),
+                env=env, stdout=log, stderr=subprocess.STDOUT)
+
+    def _spawn_worker_thread(self, queue: WorkQueue,
+                             index: int) -> _ThreadWorkerHandle:
+        from repro.campaign.dist.worker import Worker
+
+        options: Dict[str, Any] = {
+            "cache": self.cache,
+            "poll_interval": self.poll_interval,
+            "exit_when_drained": True,
+            "worker_id": f"w{index}-t{os.getpid()}",
+        }
+        if self.autoscale is not None:
+            options["idle_timeout"] = self.autoscale.idle_timeout
+        if index < len(self.worker_options):
+            options.update(self.worker_options[index])
+        return _ThreadWorkerHandle(Worker(queue, **options))
+
+    def _max_respawns(self) -> int:
+        if self.autoscale is not None:
+            return max(1, self.autoscale.max_workers)
+        return max(1, self.workers)
 
     def _wait_for_drain(self, queue: WorkQueue, jobs: List[JobSpec],
-                        procs: List[subprocess.Popen],
-                        deadline: float) -> None:
+                        handles: List[Any], deadline: float) -> None:
         keys = {job.job_id for job in jobs}
         next_scavenge = 0.0
         while True:
             # Lease scavenging is throttled to half a lease period — the
             # fastest a lease can possibly expire — so the per-tick work
-            # is just the two terminal-directory listings below.
+            # is just the terminal-listing probes below.
             now = time.monotonic()
             if now >= next_scavenge:
                 queue.requeue_expired()
                 next_scavenge = now + queue.lease_seconds / 2.0
-            # Filename-derived keys only: no JSON parsing on the poll path.
+                self._autoscale_tick(queue, handles)
+            # Name-derived keys only: no record reads on the poll path.
             if keys <= queue.terminal_keys():
                 return
             if time.monotonic() >= deadline:
                 raise TimeoutError(
                     f"distributed campaign did not drain within "
                     f"{self.timeout:.0f}s: {queue!r}")
-            if procs and all(proc.poll() is not None for proc in procs):
-                # Every worker exited (crashed or raced the drain check)
-                # with work outstanding.  Respawn to finish the grid — but
-                # capped: workers that can't even start (broken
-                # interpreter env, unwritable queue) would otherwise spawn
-                #-storm until the timeout with no diagnosis.
-                if self.respawns >= max(1, self.workers):
-                    codes = sorted({proc.returncode for proc in procs})
+            if (self.autoscale is None and handles
+                    and all(h.poll() is not None for h in handles)):
+                # Every worker exited (crashed, starved out, or raced the
+                # drain check) with work outstanding.  Respawn to finish
+                # the grid — but capped: workers that can't even start
+                # (broken interpreter env, unreachable queue) would
+                # otherwise spawn-storm until the timeout with no
+                # diagnosis.
+                if self.respawns >= self._max_respawns():
+                    codes = sorted({h.poll() for h in handles})
+                    where = (f" — see worker-*.log under {queue.root}"
+                             if queue.root is not None else "")
                     raise RuntimeError(
                         f"all workers exited (exit codes {codes}) with work "
                         f"outstanding, after {self.respawns} respawns: "
-                        f"{queue!r} — see worker-*.log under {queue.root}")
+                        f"{queue!r}{where}")
                 self.respawns += 1
                 self._say(f"all workers exited with work outstanding; "
                           f"respawn #{self.respawns}")
-                procs.append(self._spawn_worker(queue.root, len(procs)))
+                handles.append(self._spawn(queue, len(handles)))
             time.sleep(self.poll_interval)
+
+    def _autoscale_tick(self, queue: WorkQueue, handles: List[Any]) -> None:
+        """Grow the fleet toward the policy's target (shrink is attrition)."""
+        if self.autoscale is None:
+            return
+        live = sum(1 for h in handles if h.poll() is None)
+        desired = self.autoscale.desired_from(queue.backlog())
+        if desired <= live:
+            return
+        if live == 0 and handles:
+            # The whole fleet is gone with claimable work left.  A worker
+            # that *starved out* (exit 0) is normal attrition; a *failed*
+            # most-recent spawn means workers cannot start (broken env,
+            # unreachable queue) — cap the respawns so we fail with a
+            # diagnosis instead of spawn-storming until the timeout.  The
+            # newest handle is the signal: historical clean exits from
+            # earlier in the run must not mask a broker that died since.
+            if handles[-1].poll() not in (None, 0):
+                if self.respawns >= self._max_respawns():
+                    codes = sorted({h.poll() for h in handles})
+                    raise RuntimeError(
+                        f"all workers exited (exit codes {codes}) "
+                        f"with work outstanding, after {self.respawns} "
+                        f"respawns: {queue!r}")
+                self.respawns += 1
+        for _ in range(desired - live):
+            handles.append(self._spawn(queue, len(handles)))
+        self._say(f"autoscale: {live} live workers -> {desired} "
+                  f"(spawned {desired - live})")
 
     # -- result collection -------------------------------------------------
     def _collect(self, queue: WorkQueue, jobs: List[JobSpec]) -> List[JobResult]:
@@ -270,7 +458,9 @@ class DistributedExecutor:
         return out
 
     def __repr__(self) -> str:
-        return (f"DistributedExecutor(workers={self.workers}, "
+        fleet = (f"autoscale={self.autoscale!r}" if self.autoscale
+                 else f"workers={self.workers}")
+        return (f"DistributedExecutor({fleet}, "
                 f"queue_dir={str(self.queue_dir) if self.queue_dir else None!r}, "
                 f"lease_seconds={self.lease_seconds}, "
                 f"max_attempts={self.max_attempts})")

@@ -49,6 +49,7 @@ class CampaignSnapshot:
 
     @property
     def done(self) -> int:
+        """Jobs with a persisted result (including completed-with-error)."""
         return len(self.result)
 
     @property
@@ -66,6 +67,7 @@ class CampaignSnapshot:
         return (self.done + dead) / self.total
 
     def summary(self) -> str:
+        """One human-readable progress line for status displays."""
         return (f"campaign {self.spec.name!r}: {self.done}/{self.total} done, "
                 f"{len(self.running)} running, {len(self.pending)} pending, "
                 f"{len(self.failed)} failed "

@@ -1,64 +1,75 @@
-"""Durable, file-backed work queue with leases, retries and a dead-letter state.
+"""Durable work queue with leases, retries and a dead-letter state.
 
-The queue is a directory; every piece of state is a small JSON file and
-every state transition is a single atomic filesystem operation (``os.replace``
-for writes, ``os.rename`` between state directories for moves), so any number
-of worker *processes* — possibly on different hosts sharing a filesystem —
-can cooperate without locks:
+The queue is a small state machine over *opaque keys* holding JSON
+documents, stored in any :class:`~repro.campaign.dist.transport.
+QueueTransport` — a shared directory, an in-process dict, or an HTTP
+object-store broker.  Any number of workers (threads, processes, hosts)
+cooperate without locks; every exclusive decision rests on the transport's
+one atomic primitive, *conditional create* (compare-and-swap with
+``if_match=None``):
 
 ``jobs/<key>.json``
     Immutable job record: the :class:`~repro.campaign.spec.JobSpec`, its
-    cost estimate and its ticket name.  Written once at enqueue time.
+    cost estimate and its ticket name.  Created once at enqueue time
+    (conditional create, so racing orchestrators agree on one record).
 ``pending/<prio>-<key>.json``
-    A claimable *ticket* holding only the attempt counter.  The filename
-    embeds the scheduling priority so a sorted directory listing *is* the
-    schedule (smaller sorts first; :class:`~repro.campaign.dist.costmodel.
-    CostModel` encodes longest-job-first).
-``claimed/<prio>-<key>.json`` + ``leases/<prio>-<key>.json``
-    A claim is the atomic rename of a ticket from ``pending/`` into
-    ``claimed/`` — exactly one renamer wins — followed by a lease naming the
-    worker and its expiry.  Workers heartbeat the lease while executing.
+    The *ticket*: present from enqueue until the job settles, holding only
+    the attempt counter.  The name embeds the scheduling priority so a
+    sorted listing *is* the schedule (smaller sorts first;
+    :class:`~repro.campaign.dist.costmodel.CostModel` encodes
+    longest-job-first).
+``claims/<prio>-<key>.json``
+    The claim *and* the lease, one document: worker identity, attempt
+    counter, expiry.  Claiming is a conditional create — exactly one
+    creator wins — so the lease exists from the first instant of the
+    claim (no claim-without-lease window to grace over).  Workers renew
+    the expiry with compare-and-swap while executing; a claim whose CAS
+    tag went stale belongs to someone else now.
 ``results/<key>.json`` / ``done/<prio>-<key>.json``
     Completion writes the :class:`~repro.campaign.jobs.JobResult` record
-    first, then retires the ticket; a crash between the two leaves a
-    result that :meth:`WorkQueue.requeue_expired` retires idempotently.
+    first (the commit point), then the ``done`` marker, then retires the
+    ticket and claim; a crash anywhere in between leaves a result that
+    :meth:`WorkQueue.requeue_expired` retires idempotently.
 ``dead/<key>.json``
     Dead-letter records for jobs that exhausted ``max_attempts``.
 
-Crash consistency is the design goal: a truncated or garbage JSON ticket or
-lease is *requeueable, never fatal* (a garbage ticket reads as attempt 0, a
-garbage lease reads as expired), and because the spec in ``jobs/`` is
+Crash consistency is the design goal: a truncated or garbage ticket or
+claim is *requeueable, never fatal* (a garbage ticket reads as attempt 0,
+a garbage claim reads as expired), and because the record in ``jobs/`` is
 immutable, bookkeeping corruption never loses the job itself.  Only a
 corrupt ``jobs/`` record dead-letters the entry, since there is nothing
-left to execute.
+left to execute.  Conditional-delete races (a heartbeat renewing a lease
+the scavenger is reclaiming) degrade to a re-executed job — harmless,
+because results are content-derived — never to a lost one.
+
+The transport seam is proven by the test suite: the same crash-injection
+tests run identically over ``FsTransport``, ``MemoryTransport`` and
+``HttpTransport`` (``tests/campaign/test_dist.py``,
+``tests/campaign/test_transport.py``).
 """
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set
 
+from repro.campaign.dist.transport import FsTransport, QueueTransport
 from repro.campaign.jobs import JobResult, result_from_record_or_none
-from repro.campaign.jsonio import atomic_write_json, read_json_or_none
+from repro.campaign.jsonio import json_dumps_bytes, json_loads_or_none
 from repro.campaign.spec import JobSpec
 
 #: Priority strings are fixed-width so lexicographic order == numeric order.
 _PRIORITY_WIDTH = 10
 _PRIORITY_MAX = 10 ** _PRIORITY_WIDTH - 1
 
-#: Subdirectories making up a queue.
-_STATE_DIRS = ("jobs", "pending", "claimed", "leases", "results", "done", "dead")
-
-
 def priority_for_cost(cost: float) -> str:
     """Encode an estimated cost (seconds) as a sortable priority string.
 
-    Larger costs map to *smaller* strings so that an ascending directory
-    listing yields longest-job-first — the schedule that minimizes makespan
+    Larger costs map to *smaller* strings so that an ascending listing
+    yields longest-job-first — the schedule that minimizes makespan
     stragglers across a worker pool.  Non-finite estimates (a corrupt cost
     model) clamp to "longest" rather than raising.
     """
@@ -69,9 +80,28 @@ def priority_for_cost(cost: float) -> str:
     return f"{_PRIORITY_MAX - millis:0{_PRIORITY_WIDTH}d}"
 
 
+def cost_for_priority(name: str) -> float:
+    """Decode a ticket name's embedded cost estimate (seconds).
+
+    The inverse of :func:`priority_for_cost`, up to millisecond rounding.
+    Lets the autoscaler compute the queue's cost backlog from listings
+    alone — no record reads on the scaling path.  Unparseable names read
+    as zero cost.
+    """
+    prefix = name[:_PRIORITY_WIDTH]
+    if not prefix.isdigit():
+        return 0.0
+    return max(0, _PRIORITY_MAX - int(prefix)) / 1000.0
+
+
 @dataclass
 class WorkItem:
-    """A claimed job: everything a worker needs to execute and settle it."""
+    """A claimed job: everything a worker needs to execute and settle it.
+
+    ``etag`` tracks the claim document's current CAS tag; heartbeats
+    advance it, and settle operations use it so a worker only ever
+    releases *its own* claim.
+    """
 
     name: str          # ticket stem, "<prio>-<key>"
     key: str           # job key (the JobSpec.job_id)
@@ -79,52 +109,76 @@ class WorkItem:
     attempts: int      # completed attempts *before* this claim
     cost: float = 0.0
     worker: str = ""
+    etag: str = ""
 
 
 class WorkQueue:
-    """Durable multi-process work queue over a shared directory.
+    """Durable multi-worker work queue over a pluggable transport.
 
     Parameters
     ----------
+    root:
+        Queue directory for the default filesystem transport.  Mutually
+        exclusive with ``transport``.
+    transport:
+        Any :class:`~repro.campaign.dist.transport.QueueTransport`; lets
+        the same queue protocol run over an in-memory store or an HTTP
+        broker.
     lease_seconds:
         How long a claim stays valid without a heartbeat.  A worker that
         crashes mid-job simply stops heartbeating; the next
-        :meth:`requeue_expired` call returns the job to ``pending``.
+        :meth:`requeue_expired` call returns the job to pending.
     max_attempts:
         Total execution attempts before a job is dead-lettered.
     clock:
         Injectable time source (tests advance a fake clock instead of
         sleeping through lease expiries).
 
-    The first creator of a queue directory persists ``lease_seconds`` and
-    ``max_attempts`` into ``queue.json``; later opens (e.g. worker
-    processes) adopt the stored values so every participant agrees on the
-    lease protocol.
+    The first creator of a queue persists ``lease_seconds`` and
+    ``max_attempts`` into the ``queue.json`` key (conditional create, so
+    exactly one creation race winner); later opens — worker processes,
+    other hosts — adopt the stored values so every participant agrees on
+    the lease protocol.
     """
 
-    def __init__(self, root: os.PathLike,
+    def __init__(self, root: Optional[os.PathLike] = None,
                  lease_seconds: float = 30.0,
                  max_attempts: int = 3,
-                 clock: Callable[[], float] = time.time):
-        self.root = Path(root)
+                 clock: Callable[[], float] = time.time,
+                 transport: Optional[QueueTransport] = None):
+        if transport is None:
+            if root is None:
+                raise ValueError("WorkQueue needs a root directory or a "
+                                 "transport")
+            transport = FsTransport(root)
+        self.transport = transport
+        self.root = (Path(transport.root) if isinstance(transport, FsTransport)
+                     else None)
         self._clock = clock
-        for sub in _STATE_DIRS:
-            (self.root / sub).mkdir(parents=True, exist_ok=True)
-        config_path = self.root / "queue.json"
-        config = self._read_json(config_path)
+        config = self._get_json("queue.json")
         if not config:
             # Validate *before* persisting anything, so a bad constructor
-            # call cannot poison the directory for later opens.
+            # call cannot poison the queue for later opens.
             if lease_seconds <= 0:
                 raise ValueError("lease_seconds must be positive")
             if max_attempts < 1:
                 raise ValueError("max_attempts must be >= 1")
-            config = self._publish_config(config_path, {
-                "lease_seconds": float(lease_seconds),
-                "max_attempts": int(max_attempts),
-            })
-        # Adopt the (single) persisted policy, whoever won the creation
-        # race — every participant must agree on the lease protocol.
+            payload = {"lease_seconds": float(lease_seconds),
+                       "max_attempts": int(max_attempts)}
+            if self.transport.cas("queue.json", json_dumps_bytes(payload),
+                                  if_match=None) is not None:
+                config = payload
+            else:
+                # Lost the creation race: adopt the winner's policy.
+                config = self._get_json("queue.json")
+                if config is None:
+                    # The key exists but holds garbage (torn by a crash
+                    # mid-create, external corruption): heal it with an
+                    # atomic rewrite, or every participant would silently
+                    # run its own constructor defaults — divergent lease
+                    # policies steal live claims.
+                    self._put_json("queue.json", payload)
+                    config = payload
         lease_seconds = float(config.get("lease_seconds", lease_seconds))
         max_attempts = int(config.get("max_attempts", max_attempts))
         if lease_seconds <= 0:
@@ -134,56 +188,36 @@ class WorkQueue:
         self.lease_seconds = lease_seconds
         self.max_attempts = max_attempts
 
-    # -- low-level JSON helpers -------------------------------------------
-    _write_json = staticmethod(atomic_write_json)
-    _read_json = staticmethod(read_json_or_none)
+    @property
+    def address(self) -> Optional[str]:
+        """How a separate worker process reaches this queue (``--queue``)."""
+        return self.transport.address
 
-    def _publish_config(self, path: Path,
-                        payload: Dict[str, Any]) -> Dict[str, Any]:
-        """First-writer-wins creation of ``queue.json``.
+    # -- low-level helpers -------------------------------------------------
+    def _get_json(self, key: str) -> Optional[Dict[str, Any]]:
+        got = self.transport.get(key)
+        return None if got is None else json_loads_or_none(got[0])
 
-        O_EXCL makes one concurrent creator the winner; every loser (and
-        the winner) adopts whatever the file now holds, so two
-        orchestrators racing to create the same queue cannot run with
-        divergent lease policies.  A garbage config (torn by a crash
-        mid-create) is healed with an atomic rewrite.
-        """
-        # Stage the full content first, then hard-link it into place:
-        # creation is both exclusive *and* atomic in content, so a loser
-        # (or any reader) can never observe a partially written config.
-        tmp = path.parent / f".{path.name}.create.{os.getpid()}"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, sort_keys=True)
-        try:
-            os.link(tmp, path)
-            return payload
-        except FileExistsError:
-            existing = self._read_json(path)
-            if existing is not None:
-                return existing
-            self._write_json(path, payload)  # heal a torn/garbage config
-            return payload
-        except OSError:
-            # Filesystem without hard links: settle for plain atomic write
-            # (last concurrent creator wins, but content is never torn).
-            self._write_json(path, payload)
-            return payload
-        finally:
-            self._remove(tmp)
+    def _put_json(self, key: str, payload: Dict[str, Any]) -> str:
+        return self.transport.put(key, json_dumps_bytes(payload))
+
+    def _delete(self, key: str, if_match: Optional[str] = None) -> bool:
+        return self.transport.delete(key, if_match=if_match)
 
     @staticmethod
-    def _key_of(ticket_name: str) -> Optional[str]:
-        stem = ticket_name[:-5] if ticket_name.endswith(".json") else ticket_name
-        if len(stem) <= _PRIORITY_WIDTH + 1 or stem[_PRIORITY_WIDTH] != "-":
+    def _key_of(name: str) -> Optional[str]:
+        """Job key embedded in a ticket name; ``None`` for foreign names."""
+        if len(name) <= _PRIORITY_WIDTH + 1 or name[_PRIORITY_WIDTH] != "-":
             return None
-        prefix = stem[:_PRIORITY_WIDTH]
-        if not prefix.isdigit():
+        if not name[:_PRIORITY_WIDTH].isdigit():
             return None
-        return stem[_PRIORITY_WIDTH + 1:]
+        return name[_PRIORITY_WIDTH + 1:]
 
-    def _tickets(self, state: str) -> List[str]:
-        return sorted(name for name in os.listdir(self.root / state)
-                      if name.endswith(".json"))
+    def _names(self, state: str) -> List[str]:
+        """Sorted document stems under a state prefix (foreign keys skipped)."""
+        head = len(state) + 1
+        return [key[head:-5] for key in self.transport.list(f"{state}/")
+                if key.endswith(".json")]
 
     # -- enqueue -----------------------------------------------------------
     def enqueue(self, job: JobSpec, cost: float = 0.0) -> str:
@@ -193,126 +227,201 @@ class WorkQueue:
         dead-lettered is a no-op, so a restarted orchestrator can replay a
         whole grid into an existing queue safely.
         """
+        return self._enqueue(job, cost, known=None)
+
+    def _enqueue(self, job: JobSpec, cost: float,
+                 known: Optional[Dict[str, Set[str]]]) -> str:
         key = job.job_id
-        spec_path = self.root / "jobs" / f"{key}.json"
-        existing = self._read_json(spec_path)
-        if existing and "job" in existing:
-            name = existing.get("name") or f"{priority_for_cost(cost)}-{key}"
+        record = self._get_json(f"jobs/{key}.json")
+        if record and "job" in record:
+            name = record.get("name") or f"{priority_for_cost(cost)}-{key}"
         else:
             name = f"{priority_for_cost(cost)}-{key}"
-            self._write_json(spec_path, {"job": job.to_record(),
-                                         "cost": float(cost), "name": name})
-        ticket = f"{name}.json"
-        states = (self.root / "pending" / ticket,
-                  self.root / "claimed" / ticket,
-                  self.root / "done" / ticket,
-                  self.root / "results" / f"{key}.json",
-                  self.root / "dead" / f"{key}.json")
-        if any(path.exists() for path in states):
+            payload = {"job": job.to_record(), "cost": float(cost),
+                       "name": name}
+            if self.transport.cas(f"jobs/{key}.json",
+                                  json_dumps_bytes(payload),
+                                  if_match=None) is None:
+                # Lost an enqueue race: adopt the winner's ticket name so
+                # the job cannot end up with two differently-prioritized
+                # tickets.
+                record = self._get_json(f"jobs/{key}.json") or payload
+                name = record.get("name") or name
+        if known is not None:
+            settled_or_queued = (name in known["pending"]
+                                 or name in known["claims"]
+                                 or name in known["done"]
+                                 or key in known["results"]
+                                 or key in known["dead"])
+        else:
+            settled_or_queued = any((
+                self.transport.get(f"pending/{name}.json"),
+                self.transport.get(f"claims/{name}.json"),
+                self.transport.get(f"done/{name}.json"),
+                self.transport.get(f"results/{key}.json"),
+                self.transport.get(f"dead/{key}.json"),
+            ))
+        if settled_or_queued:
             return name
-        self._write_json(self.root / "pending" / ticket, {"attempts": 0})
+        self.transport.cas(f"pending/{name}.json",
+                           json_dumps_bytes({"attempts": 0}), if_match=None)
+        if known is not None:
+            known["pending"].add(name)
         return name
 
     def enqueue_grid(self, jobs: Iterable[JobSpec],
                      cost_model: Optional[Any] = None) -> List[str]:
-        """Enqueue many jobs, longest-estimated-first when a model is given."""
+        """Enqueue many jobs, longest-estimated-first when a model is given.
+
+        Existing state is listed once up front instead of probed per job,
+        so replaying a large grid costs O(5 listings + new tickets) — it
+        matters over the HTTP transport, where every probe is a round
+        trip.
+        """
         jobs = list(jobs)
+        costs: List[float] = [0.0] * len(jobs)
         if cost_model is not None:
             jobs = cost_model.order(jobs)
-            return [self.enqueue(job, cost=cost_model.estimate(job))
-                    for job in jobs]
-        return [self.enqueue(job) for job in jobs]
+            costs = [cost_model.estimate(job) for job in jobs]
+        known = {
+            "pending": set(self._names("pending")),
+            "claims": set(self._names("claims")),
+            "done": set(self._names("done")),
+            "results": set(self._names("results")),
+            "dead": set(self._names("dead")),
+        }
+        return [self._enqueue(job, cost, known)
+                for job, cost in zip(jobs, costs)]
 
     # -- claim / lease -----------------------------------------------------
+    def _lease_payload(self, worker: str, attempts: int,
+                       now: float) -> Dict[str, Any]:
+        return {"worker": worker, "attempts": attempts, "claimed_at": now,
+                "expires_at": now + self.lease_seconds}
+
     def claim(self, worker: str = "") -> Optional[WorkItem]:
         """Atomically claim the highest-priority pending job, if any.
 
-        Corrupt bookkeeping never aborts the scan: a garbage ticket is
-        claimed with ``attempts == 0`` (requeueable), while a corrupt
-        immutable job record is dead-lettered (nothing left to execute)
-        and the scan continues with the next ticket.
+        A claim is one conditional create of the ``claims/`` document —
+        exactly one creator wins, and the document *is* the lease, so
+        there is never a claimed job without an expiry.  Corrupt
+        bookkeeping never aborts the scan: a garbage ticket is claimed
+        with ``attempts == 0`` (requeueable), while a corrupt immutable
+        job record is dead-lettered (nothing left to execute) and the
+        scan continues with the next ticket.
         """
         now = self._clock()
-        for ticket in self._tickets("pending"):
-            key = self._key_of(ticket)
+        claimed = set(self._names("claims"))
+        have_results = set(self._names("results"))
+        for name in self._names("pending"):
+            key = self._key_of(name)
             if key is None:
-                continue  # foreign file; leave it alone
-            pending_path = self.root / "pending" / ticket
-            if (self.root / "results" / f"{key}.json").exists():
-                # Already computed (healed double-enqueue): retire the ticket.
-                try:
-                    os.rename(pending_path, self.root / "done" / ticket)
-                except OSError:
-                    pass
+                continue  # foreign document; leave it alone
+            if key in have_results:
+                # Already computed (healed double-enqueue / crashed
+                # settle): retire the ticket.
+                self._retire(name, key)
                 continue
-            claimed_path = self.root / "claimed" / ticket
-            try:
-                os.rename(pending_path, claimed_path)
-            except OSError:
-                continue  # another worker won the race
-            try:
-                # rename preserves mtime; stamp the claim time so the
-                # scavenger's missing-lease grace window (measured from
-                # this file's mtime) actually starts now.
-                os.utime(claimed_path, (now, now))
-            except OSError:
-                pass
-            payload = self._read_json(claimed_path) or {}
-            attempts = int(payload.get("attempts", 0) or 0)
-            record = self._read_json(self.root / "jobs" / f"{key}.json")
+            if name in claimed:
+                continue  # held by a live (or not-yet-scavenged) claim
+            ticket = self._get_json(f"pending/{name}.json") or {}
+            attempts = int(ticket.get("attempts", 0) or 0)
+            payload = json_dumps_bytes(
+                self._lease_payload(worker, attempts, now))
+            etag = self.transport.cas(f"claims/{name}.json", payload,
+                                      if_match=None)
+            if etag is None:
+                # Lost the race — unless the "conflict" is our own write:
+                # a retried HTTP request whose first response was lost
+                # lands the document, then sees it exist.  If the stored
+                # bytes are exactly what we tried to write, the claim is
+                # ours; skipping it would strand our own lease and burn a
+                # retry attempt the job never used.
+                got = self.transport.get(f"claims/{name}.json")
+                if got is None or got[0] != payload:
+                    continue  # genuinely someone else's claim
+                etag = got[1]
+            # Read the (immutable) job record only after winning: losers
+            # of a contended claim should cost one failed CAS, not extra
+            # round trips.  A corrupt record is buried from the claim we
+            # now hold, exactly as a pre-claim check would have done.
+            record = self._get_json(f"jobs/{key}.json")
             if not record or "job" not in record:
-                self._bury(ticket, key, attempts,
+                self._bury(name, key, attempts,
                            error="corrupt job record (unreadable spec)")
                 continue
             try:
                 job = JobSpec.from_record(record["job"])
             except (KeyError, TypeError, ValueError):
-                self._bury(ticket, key, attempts,
+                self._bury(name, key, attempts,
                            error="corrupt job record (bad spec fields)")
                 continue
             cost = float(record.get("cost", 0.0) or 0.0)
-            self._write_json(self.root / "leases" / ticket, {
-                "worker": worker,
-                "attempts": attempts,
-                "claimed_at": now,
-                "expires_at": now + self.lease_seconds,
-            })
-            return WorkItem(name=ticket[:-5], key=key, job=job,
-                            attempts=attempts, cost=cost, worker=worker)
+            return WorkItem(name=name, key=key, job=job, attempts=attempts,
+                            cost=cost, worker=worker, etag=etag)
         return None
 
-    def heartbeat(self, item: WorkItem) -> None:
-        """Extend the lease of a claimed job (call while executing)."""
-        now = self._clock()
-        self._write_json(self.root / "leases" / f"{item.name}.json", {
-            "worker": item.worker,
-            "attempts": item.attempts,
-            "claimed_at": now,
-            "expires_at": now + self.lease_seconds,
-        })
+    def heartbeat(self, item: WorkItem) -> bool:
+        """Extend the lease of a claimed job (call while executing).
+
+        Renewal is a compare-and-swap on the claim document, so a lease
+        the scavenger already reclaimed (or another worker re-claimed)
+        cannot be resurrected.  Returns ``True`` when the lease is still
+        ours and was extended.
+        """
+        payload = json_dumps_bytes(self._lease_payload(
+            item.worker, item.attempts, self._clock()))
+        etag = self.transport.cas(f"claims/{item.name}.json", payload,
+                                  if_match=item.etag)
+        if etag is None:
+            # Raced our own previous renewal or lost the claim: re-read
+            # once and retry only if the claim still names us.
+            got = self.transport.get(f"claims/{item.name}.json")
+            if got is None:
+                return False
+            lease = json_loads_or_none(got[0])
+            if not lease or lease.get("worker") != item.worker:
+                return False
+            etag = self.transport.cas(f"claims/{item.name}.json", payload,
+                                      if_match=got[1])
+            if etag is None:
+                return False
+        item.etag = etag
+        return True
 
     # -- settle ------------------------------------------------------------
     def complete(self, item: WorkItem, result: JobResult) -> None:
         """Persist ``result`` and retire the claim.
 
-        The result record is written *before* the ticket moves, so a crash
-        between the two steps loses no work: the scavenger retires tickets
-        whose result already exists.  Completion after a lease expiry (the
-        job was requeued and possibly re-run elsewhere) is harmless —
-        results are content-derived and therefore identical.
+        The result record is the commit point: it is written *before* the
+        ``done`` marker and the ticket/claim deletions, so a crash between
+        the steps loses no work — the scavenger retires tickets whose
+        result already exists.  Completion after a lease expiry (the job
+        was requeued and possibly re-run elsewhere) is harmless: results
+        are content-derived and therefore identical, and the stale claim
+        etag keeps us from touching the new claimant's lease.
         """
-        self._write_json(self.root / "results" / f"{item.key}.json", {
+        self._put_json(f"results/{item.key}.json", {
             "result": result.to_record(),
             "cached": bool(result.cached),
             "worker": item.worker,
             "attempts": item.attempts + 1,
         })
-        ticket = f"{item.name}.json"
-        try:
-            os.rename(self.root / "claimed" / ticket, self.root / "done" / ticket)
-        except OSError:
-            pass  # lease expired and the ticket was requeued meanwhile
-        self._remove(self.root / "leases" / ticket)
+        self._retire(item.name, item.key,
+                     claim_etag=item.etag or None)
+
+    def _retire(self, name: str, key: str,
+                claim_etag: Optional[str] = None) -> None:
+        """Idempotently move a ticket with a persisted result to ``done``."""
+        self.transport.cas(f"done/{name}.json", json_dumps_bytes({}),
+                           if_match=None)
+        self._delete(f"pending/{name}.json")
+        if not self._delete(f"claims/{name}.json", if_match=claim_etag):
+            # Ours went stale (late completion after requeue) — leave the
+            # new claimant's lease alone; the scavenger retires it against
+            # the result record.  An unconditional retire (claim_etag None)
+            # already removed it or found nothing.
+            pass
 
     def fail(self, item: WorkItem, error: str) -> str:
         """Record a failed attempt; requeue or dead-letter.
@@ -324,212 +433,217 @@ class WorkQueue:
         they do under the in-process executors.
         """
         attempts = item.attempts + 1
-        ticket = f"{item.name}.json"
         if attempts >= self.max_attempts:
-            self._bury(ticket, item.key, attempts, error=error)
+            self._bury(item.name, item.key, attempts, error=error)
             return "dead"
-        self._requeue_ticket(ticket, attempts)
+        # Fold the attempt into the ticket first, then release the claim
+        # (the release is the commit point, mirroring claim): the requeue
+        # never deletes a ticket some other worker might rely on, so a
+        # racing claim is at worst re-run, never stranded.
+        self._put_json(f"pending/{item.name}.json", {"attempts": attempts})
+        self._delete(f"claims/{item.name}.json",
+                     if_match=item.etag or None)
         return "requeued"
 
-    def _requeue_ticket(self, ticket: str, attempts: int) -> bool:
-        """Move a claimed ticket back to pending as one atomic rename.
-
-        The attempt counter is folded into the claimed ticket first, then
-        the rename is the commit point (mirroring :meth:`claim`) — the
-        requeue never unlinks a ticket some other worker might hold, so a
-        racing claim is at worst re-run (results are content-derived),
-        never stranded outside every state directory.
-        """
-        claimed_path = self.root / "claimed" / ticket
-        self._write_json(claimed_path, {"attempts": attempts})
-        try:
-            os.rename(claimed_path, self.root / "pending" / ticket)
-        except OSError:
-            return False  # settled or requeued by someone else meanwhile
-        self._remove(self.root / "leases" / ticket)
-        return True
-
-    def _bury(self, ticket: str, key: str, attempts: int, error: str) -> None:
-        record = self._read_json(self.root / "jobs" / f"{key}.json") or {}
-        self._write_json(self.root / "dead" / f"{key}.json", {
+    def _bury(self, name: str, key: str, attempts: int, error: str) -> None:
+        record = self._get_json(f"jobs/{key}.json") or {}
+        self._put_json(f"dead/{key}.json", {
             "job": record.get("job"),
             "error": error,
             "attempts": attempts,
         })
-        self._remove(self.root / "claimed" / ticket)
-        self._remove(self.root / "leases" / ticket)
-
-    @staticmethod
-    def _remove(path: Path) -> None:
-        try:
-            os.unlink(path)
-        except OSError:
-            pass
+        self._delete(f"pending/{name}.json")
+        self._delete(f"claims/{name}.json")
 
     # -- lease scavenging --------------------------------------------------
     def requeue_expired(self, now: Optional[float] = None) -> List[str]:
-        """Return expired/orphaned claims to ``pending``; heal stale state.
+        """Release expired claims back to pending; heal stale state.
 
-        A garbage lease counts as expired (the bookkeeping was lost, the
-        job was not); a *missing* lease gets one ``lease_seconds`` of
-        grace measured from the claimed ticket's mtime, because
-        :meth:`claim` commits with the rename and writes the lease a few
-        syscalls later — a concurrent scavenger must not steal the claim
-        inside that window.  A claim whose result already exists is
-        retired instead of retried, and jobs over ``max_attempts`` move
-        to the dead-letter state.  Returns the keys that were requeued.
+        A garbage claim document counts as expired (the bookkeeping was
+        lost, the job was not).  A claim whose result already exists is
+        retired instead of retried, and jobs over ``max_attempts`` move to
+        the dead-letter state.  The release itself is a conditional
+        delete: if the "expired" worker heartbeats concurrently (alive
+        after all), its renewal wins and the claim stands.  Returns the
+        keys that were requeued.
         """
         now = self._clock() if now is None else now
+        have_results = set(self._names("results"))
+        have_dead = set(self._names("dead"))
         requeued: List[str] = []
-        for ticket in self._tickets("claimed"):
-            key = self._key_of(ticket)
+        for name in self._names("claims"):
+            key = self._key_of(name)
             if key is None:
                 continue
-            claimed_path = self.root / "claimed" / ticket
-            if (self.root / "results" / f"{key}.json").exists():
-                try:
-                    os.rename(claimed_path, self.root / "done" / ticket)
-                except OSError:
-                    pass
-                self._remove(self.root / "leases" / ticket)
+            if key in have_results:
+                self._retire(name, key)
                 continue
-            if (self.root / "pending" / ticket).exists():
-                # Duplicate state (external corruption / legacy residue):
-                # fold the claim back into pending atomically.  The rename
-                # never strands a racing claimant — worst case the job is
-                # re-run, and the conservative (claimed-side) attempt
-                # count wins.
-                try:
-                    os.rename(claimed_path, self.root / "pending" / ticket)
-                except OSError:
-                    pass
-                self._remove(self.root / "leases" / ticket)
+            if key in have_dead:
+                # Crash mid-bury: the dead record is authoritative.
+                self._delete(f"pending/{name}.json")
+                self._delete(f"claims/{name}.json")
                 continue
-            lease = self._read_json(self.root / "leases" / ticket)
-            if lease is not None and float(lease.get("expires_at", 0.0)) > now:
+            got = self.transport.get(f"claims/{name}.json")
+            if got is None:
+                continue  # settled concurrently
+            lease = json_loads_or_none(got[0])
+            if lease is not None and float(lease.get("expires_at",
+                                                     0.0)) > now:
                 continue  # live lease
-            if lease is None and not (self.root / "leases" / ticket).exists():
-                # Claim-window grace: no lease was written yet (or ever —
-                # the claimant crashed mid-claim).  Requeue only once the
-                # claim is older than a full lease.
-                try:
-                    claimed_at = os.path.getmtime(claimed_path)
-                except OSError:
-                    continue  # settled concurrently
-                if now - claimed_at < self.lease_seconds:
-                    continue
-            payload = self._read_json(claimed_path) or {}
-            attempts = int(payload.get("attempts", 0) or 0)
+            ticket = self._get_json(f"pending/{name}.json") or {}
+            attempts = int(ticket.get("attempts", 0) or 0)
             if lease is not None:
                 attempts = max(attempts, int(lease.get("attempts", 0) or 0))
             attempts += 1
             if attempts >= self.max_attempts:
-                self._bury(ticket, key, attempts,
+                self._bury(name, key, attempts,
                            error=f"lease expired after {attempts} attempts "
                                  f"(worker crash or hang)")
-            elif self._requeue_ticket(ticket, attempts):
+                continue
+            # Re-create the ticket if a crashed settle removed it, fold in
+            # the attempt count, then release the claim — conditionally,
+            # so a concurrent heartbeat renewal (the worker lives) wins.
+            self._put_json(f"pending/{name}.json", {"attempts": attempts})
+            if self._delete(f"claims/{name}.json", if_match=got[1]):
                 requeued.append(key)
         return requeued
 
     def retry_dead(self, keys: Optional[Iterable[str]] = None) -> List[str]:
-        """Return dead-lettered jobs to ``pending`` with a fresh attempt
-        budget — the recovery path after fixing whatever infrastructure
-        failure exhausted their retries.
+        """Return dead-lettered jobs to pending with a fresh attempt budget
+        — the recovery path after fixing whatever infrastructure failure
+        exhausted their retries.
 
         Dead-lettering is otherwise terminal (``enqueue`` refuses to
         revive buried jobs, so replaying a grid cannot silently retry
-        them), which would strand a persistent queue directory forever
-        without this. Restricts to ``keys`` when given; returns the keys
-        actually revived (jobs whose spec record is unreadable cannot
-        run and stay buried).
+        them), which would strand a persistent queue forever without
+        this.  Restricts to ``keys`` when given; returns the keys
+        actually revived (jobs whose spec record is unreadable cannot run
+        and stay buried).
         """
         wanted = None if keys is None else set(keys)
         revived: List[str] = []
-        for name in self._tickets("dead"):
-            key = name[:-5]
+        for key in self._names("dead"):
             if wanted is not None and key not in wanted:
                 continue
-            if (self.root / "results" / f"{key}.json").exists():
-                self._remove(self.root / "dead" / name)  # already computed
+            if self.transport.get(f"results/{key}.json") is not None:
+                self._delete(f"dead/{key}.json")  # already computed
                 continue
-            record = self._read_json(self.root / "jobs" / f"{key}.json")
+            record = self._get_json(f"jobs/{key}.json")
             if not record or "job" not in record:
                 continue  # nothing left to execute
-            ticket_name = record.get("name") or (
+            name = record.get("name") or (
                 f"{priority_for_cost(float(record.get('cost', 0.0) or 0.0))}"
                 f"-{key}")
-            self._write_json(self.root / "pending" / f"{ticket_name}.json",
-                             {"attempts": 0})
-            self._remove(self.root / "dead" / name)
+            self._put_json(f"pending/{name}.json", {"attempts": 0})
+            self._delete(f"dead/{key}.json")
             revived.append(key)
         return revived
 
     # -- inspection --------------------------------------------------------
     def counts(self) -> Dict[str, int]:
-        return {state: len(self._tickets(state))
-                for state in ("pending", "claimed", "done", "dead")}
+        """Document counts per user-facing state, from listings alone.
+
+        ``pending`` excludes tickets under a claim; ``claimed`` includes
+        expired-but-unscavenged claims (use :meth:`live_claimed_keys` to
+        distinguish).
+        """
+        pending = set(self._names("pending"))
+        claims = set(self._names("claims"))
+        return {"pending": len(pending - claims),
+                "claimed": len(claims),
+                "done": len(self._names("done")),
+                "dead": len(self._names("dead"))}
 
     def drained(self) -> bool:
-        """True when nothing is left to execute (pending and claimed empty)."""
-        return not self._tickets("pending") and not self._tickets("claimed")
+        """True when nothing is left to execute (no tickets, no claims)."""
+        return not self._names("pending") and not self._names("claims")
 
     def pending_keys(self) -> List[str]:
-        return [key for key in map(self._key_of, self._tickets("pending"))
+        """Keys claimable right now (ticket present, no claim document)."""
+        claims = set(self._names("claims"))
+        return [key for key in (self._key_of(name)
+                                for name in self._names("pending")
+                                if name not in claims)
                 if key is not None]
 
     def claimed_keys(self) -> List[str]:
-        return [key for key in map(self._key_of, self._tickets("claimed"))
+        """Keys under a claim document (live or expired)."""
+        return [key for key in map(self._key_of, self._names("claims"))
                 if key is not None]
 
     def live_claimed_keys(self, now: Optional[float] = None) -> List[str]:
         """Claimed jobs whose lease is still live (read-only probe).
 
-        A claimed ticket with a missing, garbage or expired lease belongs
-        to a crashed worker: it is *requeueable*, not running, and status
-        reporting should say so even before a scavenger runs.
+        A claim with a garbage or expired lease belongs to a crashed
+        worker: it is *requeueable*, not running, and status reporting
+        should say so even before a scavenger runs.
         """
         now = self._clock() if now is None else now
         live: List[str] = []
-        for ticket in self._tickets("claimed"):
-            key = self._key_of(ticket)
+        for name in self._names("claims"):
+            key = self._key_of(name)
             if key is None:
                 continue
-            lease = self._read_json(self.root / "leases" / ticket)
-            if lease is not None and float(lease.get("expires_at", 0.0)) > now:
+            lease = self._get_json(f"claims/{name}.json")
+            if lease is not None and float(lease.get("expires_at",
+                                                     0.0)) > now:
                 live.append(key)
         return live
 
     def terminal_keys(self) -> set:
         """Keys in a terminal state (result persisted or dead-lettered).
 
-        Computed from directory listings alone — no JSON parsing — so
-        drain polling stays O(listdir) per tick.
+        Computed from listings alone — no document reads — so drain
+        polling stays cheap (two round trips on the HTTP transport).
         """
-        return ({name[:-5] for name in self._tickets("results")}
-                | {name[:-5] for name in self._tickets("dead")})
+        return set(self._names("results")) | set(self._names("dead"))
+
+    def backlog(self, now: Optional[float] = None) -> Dict[str, float]:
+        """Claimable depth and estimated cost backlog, from listings alone.
+
+        The cost estimate of every unclaimed ticket is decoded from its
+        priority-encoded name (:func:`cost_for_priority`), so autoscaling
+        decisions cost two listings per tick — no record reads.  Returns
+        ``{"pending": <ticket count>, "seconds": <summed estimate>}``.
+        """
+        claims = set(self._names("claims"))
+        names = [name for name in self._names("pending")
+                 if name not in claims and self._key_of(name) is not None]
+        return {"pending": float(len(names)),
+                "seconds": sum(cost_for_priority(name) for name in names)}
 
     def results(self) -> Dict[str, JobResult]:
-        """All persisted results, keyed by job key (corrupt files skipped)."""
+        """All persisted results, keyed by job key (corrupt records skipped)."""
         out: Dict[str, JobResult] = {}
-        for name in self._tickets("results"):
-            record = self._read_json(self.root / "results" / name)
+        for key, record in self.result_records().items():
             result = result_from_record_or_none(
-                record, cached=bool(record.get("cached")) if record else False)
+                record, cached=bool(record.get("cached")))
             if result is not None:
-                out[name[:-5]] = result
+                out[key] = result
+        return out
+
+    def result_records(self) -> Dict[str, Dict[str, Any]]:
+        """Raw result documents keyed by job key — including the settling
+        worker's identity and attempt number, for audits and tests."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for key in self._names("results"):
+            record = self._get_json(f"results/{key}.json")
+            if record is not None:
+                out[key] = record
         return out
 
     def dead(self) -> Dict[str, Dict[str, Any]]:
         """Dead-letter records keyed by job key."""
         out: Dict[str, Dict[str, Any]] = {}
-        for name in self._tickets("dead"):
-            record = self._read_json(self.root / "dead" / name)
+        for key in self._names("dead"):
+            record = self._get_json(f"dead/{key}.json")
             if record is not None:
-                out[name[:-5]] = record
+                out[key] = record
         return out
 
     def __repr__(self) -> str:
         counts = self.counts()
-        return (f"WorkQueue({str(self.root)!r}, pending={counts['pending']}, "
+        where = self.address or repr(self.transport)
+        return (f"WorkQueue({where!r}, pending={counts['pending']}, "
                 f"claimed={counts['claimed']}, done={counts['done']}, "
                 f"dead={counts['dead']})")

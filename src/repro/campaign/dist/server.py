@@ -1,0 +1,264 @@
+"""A stdlib HTTP broker serving the S3-style queue-transport dialect.
+
+Runnable as a module::
+
+    python -m repro.campaign.dist.server --port 8123 [--data-dir DIR] \
+        [--host 0.0.0.0] [--verbose]
+
+The broker is the network hop that lets a campaign scale past one shared
+filesystem: the orchestrator and any number of workers point
+:class:`~repro.campaign.dist.transport.HttpTransport` at it
+(``--queue http://host:8123``) and run the exact same queue protocol they
+would run over a shared directory.
+
+Design:
+
+* **Storage is a transport.**  The broker fronts a
+  :class:`~repro.campaign.dist.transport.MemoryTransport` by default, or a
+  :class:`~repro.campaign.dist.transport.FsTransport` under ``--data-dir``
+  — in which case the whole queue state survives a broker restart, and
+  because ETags are content-derived, *leases held by workers remain valid
+  across the restart* (the crash tests pin this down).
+* **Mutations serialize under one lock**, so conditional PUT/DELETE
+  (``If-Match`` / ``If-None-Match: *``) are atomic even over the
+  read-check-write filesystem transport: the single broker process is the
+  serialization point, exactly like an object store's CAS.
+* **Dialect** (see :class:`~repro.campaign.dist.transport.HttpTransport`):
+  ``GET/PUT/DELETE /k/<key>`` with ``ETag``/``If-Match``/``If-None-Match``
+  headers, ``GET /list?prefix=<p>`` → ``{"keys": [...]}``, and
+  ``GET /healthz`` for liveness probes.
+
+The server is ``ThreadingHTTPServer``-based and stdlib-only.  For tests
+and single-process demos, :class:`Broker` runs the same server on a
+background thread (``with Broker() as broker: HttpTransport(broker.url)``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import threading
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.campaign.jsonio import json_dumps_bytes
+from repro.campaign.dist.transport import (
+    FsTransport,
+    MemoryTransport,
+    QueueTransport,
+)
+
+
+class _BrokerHandler(BaseHTTPRequestHandler):
+    """One request against the broker's backing transport.
+
+    The handler class is generated per-server (:func:`make_server`) so the
+    backing store and its mutation lock arrive as class attributes —
+    ``BaseHTTPRequestHandler`` instantiates per request and cannot take
+    constructor arguments.
+    """
+
+    store: QueueTransport = None  # type: ignore[assignment]
+    lock: threading.Lock = None   # type: ignore[assignment]
+    verbose = False
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-queue-broker/1.0"
+
+    # -- helpers -----------------------------------------------------------
+    def _key(self) -> Optional[str]:
+        path = urllib.parse.urlparse(self.path).path
+        if not path.startswith("/k/"):
+            return None
+        return urllib.parse.unquote(path[len("/k/"):])
+
+    def _reply(self, status: int, body: bytes = b"",
+               etag: Optional[str] = None) -> None:
+        self.send_response(status)
+        if etag:
+            self.send_header("ETag", etag)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if body:
+            self.wfile.write(body)
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        return self.rfile.read(length) if length else b""
+
+    # -- dialect -----------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        parsed = urllib.parse.urlparse(self.path)
+        if parsed.path == "/healthz":
+            self._reply(200, json_dumps_bytes({"ok": True}))
+            return
+        if parsed.path == "/list":
+            query = urllib.parse.parse_qs(parsed.query)
+            prefix = (query.get("prefix") or [""])[0]
+            with self.lock:
+                keys = self.store.list(prefix)
+            self._reply(200, json_dumps_bytes({"keys": keys}))
+            return
+        key = self._key()
+        if key is None:
+            self._reply(404)
+            return
+        with self.lock:
+            got = self.store.get(key)
+        if got is None:
+            self._reply(404)
+            return
+        data, etag = got
+        self._reply(200, data, etag=etag)
+
+    def do_PUT(self) -> None:  # noqa: N802
+        key = self._key()
+        if key is None:
+            self._reply(404)
+            return
+        data = self._read_body()
+        if_match = self.headers.get("If-Match")
+        if_none_match = self.headers.get("If-None-Match")
+        with self.lock:
+            if if_none_match == "*":
+                etag = self.store.cas(key, data, if_match=None)
+            elif if_match is not None:
+                etag = self.store.cas(key, data, if_match=if_match)
+            else:
+                etag = self.store.put(key, data)
+        if etag is None:
+            self._reply(412)
+            return
+        self._reply(200, etag=etag)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        key = self._key()
+        if key is None:
+            self._reply(404)
+            return
+        if_match = self.headers.get("If-Match")
+        with self.lock:
+            existed = self.store.get(key) is not None
+            removed = self.store.delete(key, if_match=if_match)
+        if removed:
+            self._reply(204)
+        else:
+            self._reply(412 if existed else 404)
+
+    def log_message(self, fmt: str, *args) -> None:  # noqa: D102
+        if self.verbose:
+            BaseHTTPRequestHandler.log_message(self, fmt, *args)
+
+
+def make_server(host: str = "127.0.0.1", port: int = 0,
+                data_dir: Optional[str] = None,
+                verbose: bool = False) -> ThreadingHTTPServer:
+    """Build (but don't start) a broker HTTP server.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.server_address``).  With ``data_dir`` the store is
+    disk-backed and survives restarts; otherwise it is in-memory.
+    """
+    store: QueueTransport = (FsTransport(data_dir) if data_dir
+                             else MemoryTransport())
+    handler = type("BoundBrokerHandler", (_BrokerHandler,), {
+        "store": store,
+        "lock": threading.Lock(),
+        "verbose": verbose,
+    })
+    ThreadingHTTPServer.allow_reuse_address = True
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+class Broker:
+    """An embeddable broker: the module CLI's server on a background thread.
+
+    For tests, demos and single-process fleets::
+
+        with Broker(data_dir="…/state") as broker:
+            transport = HttpTransport(broker.url)
+
+    ``stop()`` (or leaving the ``with`` block) shuts the listener down;
+    with ``data_dir`` a new ``Broker`` over the same directory resumes the
+    exact queue state — including live leases, since ETags are
+    content-derived.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 data_dir: Optional[str] = None, verbose: bool = False):
+        self._server = make_server(host=host, port=port,
+                                   data_dir=str(data_dir) if data_dir else None,
+                                   verbose=verbose)
+        self.host, self.port = self._server.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        """Base URL workers point ``--queue`` at."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "Broker":
+        """Serve on a daemon thread; returns ``self`` for chaining."""
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name=f"broker-{self.port}",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and release the port (idempotent)."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "Broker":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point: serve until interrupted; returns an exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign.dist.server",
+        description="HTTP broker for distributed campaign work queues "
+                    "(S3-style GET/PUT/DELETE with ETag conditional "
+                    "requests; see docs/distributed.md).")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1; use 0.0.0.0 "
+                             "to accept remote workers)")
+    parser.add_argument("--port", type=int, default=8123,
+                        help="TCP port (default 8123; 0 picks a free port)")
+    parser.add_argument("--data-dir", default=None,
+                        help="persist queue state under this directory so "
+                             "a broker restart resumes mid-campaign "
+                             "(default: in-memory, state dies with the "
+                             "process)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log every request")
+    args = parser.parse_args(argv)
+
+    server = make_server(host=args.host, port=args.port,
+                         data_dir=args.data_dir, verbose=args.verbose)
+    host, port = server.server_address[:2]
+    backing = args.data_dir or "memory (volatile)"
+    print(f"queue broker listening on http://{host}:{port} "
+          f"(store: {backing})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("broker shutting down", flush=True)
+    finally:
+        server.server_close()
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

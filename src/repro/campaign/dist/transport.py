@@ -1,0 +1,442 @@
+"""Pluggable queue transports: one storage contract, many backends.
+
+The distributed work queue (:class:`~repro.campaign.dist.queue.WorkQueue`)
+is a state machine over *opaque keys* holding small JSON documents.  This
+module defines the storage contract it runs on — five operations, modelled
+on an S3-style object store — and three implementations:
+
+* :class:`FsTransport` — keys are files under a root directory (the
+  original shared-filesystem queue; any number of processes/hosts sharing
+  the directory can participate);
+* :class:`MemoryTransport` — keys in a lock-protected dict (fast tests and
+  single-process thread fleets; truly atomic CAS);
+* :class:`HttpTransport` — keys served by the
+  :mod:`repro.campaign.dist.server` broker over a minimal S3-style REST
+  dialect (``GET``/``PUT``/``DELETE`` plus ``?prefix=`` listing), with
+  conditional ``PUT``/``DELETE`` via ``ETag``/``If-Match`` headers.
+
+The contract
+------------
+
+``get(key)``
+    Return ``(data, etag)`` or ``None`` if the key is absent.
+``put(key, data)``
+    Unconditional atomic write; returns the new ETag.
+``cas(key, data, if_match)``
+    Conditional write.  ``if_match=None`` means *create: the key must not
+    exist* (HTTP ``If-None-Match: *``) — this is the primitive every
+    mutual-exclusion decision in the queue (claiming a job, creating the
+    queue config) rests on, and all three transports implement it
+    atomically.  A string ``if_match`` means *the current ETag must equal
+    it* (HTTP ``If-Match``).  Returns the new ETag, or ``None`` on
+    conflict.
+``delete(key, if_match=None)``
+    Remove a key, optionally only if its ETag still matches.  Returns
+    ``True`` if the key was removed.
+``list(prefix)``
+    Sorted keys beginning with ``prefix``.
+
+ETags are content-derived (:func:`etag_of`, a SHA-256 of the bytes): two
+writes of identical bytes share an ETag on every transport, and a broker
+restart cannot invalidate leases held by workers — the satellite property
+the crash tests pin down.
+
+Atomicity fine print: ``FsTransport`` implements conditional *create*
+atomically (hard-link or ``O_EXCL`` tricks), but ``If-Match`` updates and
+deletes are read-check-write — racy by nature of POSIX.  The queue is
+designed so that every ``If-Match`` race degrades to a re-executed job
+(results are content-derived, so re-execution is harmless), never to a
+lost one.  ``MemoryTransport`` and the HTTP broker serialize mutations
+under a lock, so for them every conditional operation is exact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import http.client
+import os
+import threading
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.campaign.jsonio import atomic_write_bytes, read_bytes_or_none
+
+
+class TransportError(Exception):
+    """A transport could not reach its backing store.
+
+    Raised after retries are exhausted (connection refused, broker down,
+    unwritable directory).  Workers surface this as a clean exit code
+    instead of a traceback — see :mod:`repro.campaign.dist.worker`.
+    """
+
+
+def etag_of(data: bytes) -> str:
+    """Content-derived ETag shared by every transport.
+
+    >>> etag_of(b"x") == etag_of(b"x")
+    True
+    >>> etag_of(b"x") == etag_of(b"y")
+    False
+    """
+    return hashlib.sha256(data).hexdigest()[:32]
+
+
+class QueueTransport:
+    """Abstract storage contract; see the module docstring for semantics.
+
+    Subclasses must implement the five operations and may advertise an
+    ``address`` — a string another *process* can use to reach the same
+    store (a directory path, an ``http://`` URL).  ``address`` is ``None``
+    for in-process-only transports, which tells
+    :class:`~repro.campaign.dist.executor.DistributedExecutor` to run its
+    fleet as threads instead of spawned worker processes.
+    """
+
+    #: How a separate worker process addresses this store (``--queue`` arg);
+    #: ``None`` when the store is reachable only from this process.
+    address: Optional[str] = None
+
+    def get(self, key: str) -> Optional[Tuple[bytes, str]]:
+        """``(data, etag)`` for ``key``, or ``None`` if absent."""
+        raise NotImplementedError
+
+    def put(self, key: str, data: bytes) -> str:
+        """Unconditional atomic write; returns the new ETag."""
+        raise NotImplementedError
+
+    def cas(self, key: str, data: bytes,
+            if_match: Optional[str]) -> Optional[str]:
+        """Conditional write: create-if-absent (``if_match=None``) or
+        update-if-ETag-matches.  Returns the new ETag, ``None`` on
+        conflict."""
+        raise NotImplementedError
+
+    def delete(self, key: str, if_match: Optional[str] = None) -> bool:
+        """Remove ``key`` (optionally only at a matching ETag); ``True``
+        when something was removed."""
+        raise NotImplementedError
+
+    def list(self, prefix: str) -> List[str]:
+        """Sorted keys beginning with ``prefix``."""
+        raise NotImplementedError
+
+
+class MemoryTransport(QueueTransport):
+    """In-process store: a dict under a lock.
+
+    The reference implementation of the contract — every conditional
+    operation is exact — and the fastest one, for unit tests and
+    single-host thread fleets (``DistributedExecutor`` runs worker threads
+    when the transport has no ``address``).
+
+    >>> t = MemoryTransport()
+    >>> tag = t.put("a/1", b"one")
+    >>> t.get("a/1") == (b"one", tag)
+    True
+    >>> t.cas("a/1", b"two", if_match=None) is None  # exists: create fails
+    True
+    >>> t.cas("a/1", b"two", if_match=tag) == etag_of(b"two")
+    True
+    >>> t.list("a/")
+    ['a/1']
+    >>> t.delete("a/1", if_match="stale")
+    False
+    >>> t.delete("a/1")
+    True
+    """
+
+    address = None
+
+    def __init__(self):
+        self._data: Dict[str, bytes] = {}
+        self._lock = threading.Lock()
+
+    def get(self, key: str) -> Optional[Tuple[bytes, str]]:
+        with self._lock:
+            data = self._data.get(key)
+        return None if data is None else (data, etag_of(data))
+
+    def put(self, key: str, data: bytes) -> str:
+        with self._lock:
+            self._data[key] = data
+        return etag_of(data)
+
+    def cas(self, key: str, data: bytes,
+            if_match: Optional[str]) -> Optional[str]:
+        with self._lock:
+            current = self._data.get(key)
+            if if_match is None:
+                if current is not None:
+                    return None
+            elif current is None or etag_of(current) != if_match:
+                return None
+            self._data[key] = data
+        return etag_of(data)
+
+    def delete(self, key: str, if_match: Optional[str] = None) -> bool:
+        with self._lock:
+            current = self._data.get(key)
+            if current is None:
+                return False
+            if if_match is not None and etag_of(current) != if_match:
+                return False
+            del self._data[key]
+        return True
+
+    def list(self, prefix: str) -> List[str]:
+        with self._lock:
+            return sorted(k for k in self._data if k.startswith(prefix))
+
+    def __repr__(self) -> str:
+        return f"MemoryTransport(keys={len(self._data)})"
+
+
+class FsTransport(QueueTransport):
+    """Keys as files under a root directory on a (possibly shared) filesystem.
+
+    Key segments map to subdirectories (``pending/x.json`` →
+    ``<root>/pending/x.json``).  Writes are atomic (staged temp file +
+    ``os.replace``); conditional *create* is atomic via a hard link (one
+    concurrent creator wins), with an ``O_CREAT|O_EXCL`` fallback on
+    filesystems without hard links.  ``If-Match`` updates/deletes are
+    read-check-write — see the module docstring for why that is sufficient
+    for the queue.
+    """
+
+    def __init__(self, root: os.PathLike):
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            # Unwritable/invalid queue locations surface through the same
+            # clean error path as an unreachable broker (worker exit 3).
+            raise TransportError(
+                f"cannot create queue directory {self.root}: {exc}") from exc
+        self.address = str(self.root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key
+
+    def get(self, key: str) -> Optional[Tuple[bytes, str]]:
+        data = read_bytes_or_none(self._path(key))
+        return None if data is None else (data, etag_of(data))
+
+    def put(self, key: str, data: bytes) -> str:
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_bytes(path, data)
+        except OSError as exc:
+            raise TransportError(f"cannot write {path}: {exc}") from exc
+        return etag_of(data)
+
+    def cas(self, key: str, data: bytes,
+            if_match: Optional[str]) -> Optional[str]:
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            if if_match is None:
+                return self._create_exclusive(path, data)
+            current = read_bytes_or_none(path)
+            if current is None or etag_of(current) != if_match:
+                return None
+            atomic_write_bytes(path, data)
+        except OSError as exc:
+            raise TransportError(f"cannot write {path}: {exc}") from exc
+        return etag_of(data)
+
+    def _create_exclusive(self, path: Path, data: bytes) -> Optional[str]:
+        # Stage the full content, then hard-link into place: creation is
+        # both exclusive and atomic in content, so a concurrent reader can
+        # never observe a partially written key.
+        tmp = path.parent / f".{path.name}.create.{os.getpid()}"
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(data)
+            try:
+                os.link(tmp, path)
+                return etag_of(data)
+            except FileExistsError:
+                return None
+            except OSError:
+                pass  # filesystem without hard links: O_EXCL fallback
+        finally:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return None
+        except OSError as exc:
+            raise TransportError(f"cannot create {path}: {exc}") from exc
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        return etag_of(data)
+
+    def delete(self, key: str, if_match: Optional[str] = None) -> bool:
+        path = self._path(key)
+        if if_match is not None:
+            current = read_bytes_or_none(path)
+            if current is None or etag_of(current) != if_match:
+                return False
+        try:
+            os.unlink(path)
+            return True
+        except OSError:
+            return False
+
+    def list(self, prefix: str) -> List[str]:
+        # Prefixes are directory-shaped in practice ("pending/"); support
+        # partial-name prefixes too by listing the parent directory.
+        directory, _, stem = prefix.rpartition("/")
+        base = self.root / directory if directory else self.root
+        try:
+            names = os.listdir(base)
+        except OSError:
+            return []
+        head = f"{directory}/" if directory else ""
+        return sorted(head + name for name in names
+                      if name.startswith(stem)
+                      and not name.startswith(".")
+                      and (base / name).is_file())
+
+    def __repr__(self) -> str:
+        return f"FsTransport({str(self.root)!r})"
+
+
+class HttpTransport(QueueTransport):
+    """Client of the :mod:`repro.campaign.dist.server` broker.
+
+    Speaks a minimal S3-style REST dialect over stdlib ``urllib``:
+
+    * ``GET /k/<key>`` → body + ``ETag`` header (404 when absent);
+    * ``PUT /k/<key>`` with ``If-None-Match: *`` (create) or
+      ``If-Match: <etag>`` (update) → 412 on conflict;
+    * ``DELETE /k/<key>`` with optional ``If-Match``;
+    * ``GET /list?prefix=<p>`` → JSON ``{"keys": [...]}``.
+
+    Transient connection failures (broker restarting, network blip) are
+    retried with exponential backoff; once ``retries`` are exhausted a
+    :class:`TransportError` is raised, which workers turn into a clean
+    exit code.  Because ETags are content hashes, leases held across a
+    broker restart remain valid — the broker's disk-backed store restores
+    identical ETags.
+    """
+
+    def __init__(self, base_url: str, retries: int = 5,
+                 retry_delay: float = 0.2, timeout: float = 10.0):
+        self.base_url = base_url.rstrip("/")
+        self.retries = max(0, int(retries))
+        self.retry_delay = retry_delay
+        self.timeout = timeout
+        self.address = self.base_url
+
+    # -- request plumbing --------------------------------------------------
+    def _url(self, key: str) -> str:
+        return f"{self.base_url}/k/{urllib.parse.quote(key)}"
+
+    def _request(self, method: str, url: str, data: Optional[bytes] = None,
+                 headers: Optional[Dict[str, str]] = None):
+        """One HTTP exchange with retry-on-connection-failure.
+
+        Returns ``(status, body, etag)``.  4xx responses are returned (the
+        caller maps 404/412 to contract results); connection-level
+        failures retry, then raise :class:`TransportError`.
+        """
+        last_error: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(url, data=data, method=method,
+                                             headers=dict(headers or {}))
+            try:
+                with urllib.request.urlopen(request,
+                                            timeout=self.timeout) as response:
+                    body = response.read()
+                    return (response.status, body,
+                            response.headers.get("ETag", ""))
+            except urllib.error.HTTPError as exc:
+                # A well-formed broker response (404, 412, ...) — not a
+                # connectivity problem, no retry.
+                body = exc.read()
+                return exc.code, body, exc.headers.get("ETag", "")
+            except (urllib.error.URLError, http.client.HTTPException,
+                    ConnectionError, TimeoutError, OSError) as exc:
+                last_error = exc
+                if attempt < self.retries:
+                    time.sleep(self.retry_delay * (2 ** attempt))
+        raise TransportError(
+            f"broker unreachable at {self.base_url} after "
+            f"{self.retries + 1} attempts: {last_error}")
+
+    # -- the contract ------------------------------------------------------
+    def get(self, key: str) -> Optional[Tuple[bytes, str]]:
+        status, body, etag = self._request("GET", self._url(key))
+        if status == 404:
+            return None
+        if status != 200:
+            raise TransportError(f"GET {key}: unexpected status {status}")
+        return body, etag
+
+    def put(self, key: str, data: bytes) -> str:
+        status, _, etag = self._request("PUT", self._url(key), data=data)
+        if status not in (200, 201):
+            raise TransportError(f"PUT {key}: unexpected status {status}")
+        return etag
+
+    def cas(self, key: str, data: bytes,
+            if_match: Optional[str]) -> Optional[str]:
+        headers = ({"If-None-Match": "*"} if if_match is None
+                   else {"If-Match": if_match})
+        status, _, etag = self._request("PUT", self._url(key), data=data,
+                                        headers=headers)
+        if status == 412:
+            return None
+        if status not in (200, 201):
+            raise TransportError(f"PUT {key}: unexpected status {status}")
+        return etag
+
+    def delete(self, key: str, if_match: Optional[str] = None) -> bool:
+        headers = {} if if_match is None else {"If-Match": if_match}
+        status, _, _ = self._request("DELETE", self._url(key),
+                                     headers=headers)
+        if status in (404, 412):
+            return False
+        if status not in (200, 204):
+            raise TransportError(f"DELETE {key}: unexpected status {status}")
+        return True
+
+    def list(self, prefix: str) -> List[str]:
+        url = (f"{self.base_url}/list?"
+               f"{urllib.parse.urlencode({'prefix': prefix})}")
+        status, body, _ = self._request("GET", url)
+        if status != 200:
+            raise TransportError(f"LIST {prefix}: unexpected status {status}")
+        from repro.campaign.jsonio import json_loads_or_none
+
+        payload = json_loads_or_none(body) or {}
+        keys = payload.get("keys", [])
+        return sorted(str(key) for key in keys)
+
+    def __repr__(self) -> str:
+        return f"HttpTransport({self.base_url!r})"
+
+
+def transport_from_address(address: os.PathLike, retries: int = 5,
+                           retry_delay: float = 0.2) -> QueueTransport:
+    """Build the right transport for an address string.
+
+    ``http://`` / ``https://`` URLs get an :class:`HttpTransport` pointed
+    at a broker; anything else is treated as a queue directory on a
+    (possibly shared) filesystem.  This is how the worker CLI's
+    ``--queue`` argument accepts both.
+    """
+    text = str(address)
+    if text.startswith("http://") or text.startswith("https://"):
+        return HttpTransport(text, retries=retries, retry_delay=retry_delay)
+    return FsTransport(Path(text))

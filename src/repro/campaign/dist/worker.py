@@ -2,21 +2,29 @@
 
 Runnable as a module::
 
-    python -m repro.campaign.dist.worker --queue DIR [--cache DIR] \
+    python -m repro.campaign.dist.worker --queue DIR_OR_URL [--cache DIR] \
         [--worker-id ID] [--exit-when-drained] [--max-jobs N] \
         [--idle-timeout SECONDS]
 
-Any number of workers may point at the same queue directory (and, via a
-shared filesystem, the same cache).  Each loop iteration scavenges expired
-leases, claims the highest-priority ticket, probes the shared
-:class:`~repro.campaign.cache.ResultCache` *before* running (another worker
-may have computed the job already — results are content-derived, so serving
-the cached record is exact), executes via
+``--queue`` accepts a queue *directory* (shared-filesystem transport) or
+an ``http://host:port`` broker URL (see
+:mod:`repro.campaign.dist.server`); any number of workers may point at the
+same queue (and, via a shared filesystem, the same cache).  Each loop
+iteration scavenges expired leases, claims the highest-priority ticket,
+probes the shared :class:`~repro.campaign.cache.ResultCache` *before*
+running (another worker may have computed the job already — results are
+content-derived, so serving the cached record is exact), executes via
 :func:`~repro.campaign.jobs.execute_job` while a daemon thread heartbeats
 the lease, stores the fresh result back into the cache, and settles the
 claim.  Workload exceptions settle as completed-with-error results (the
 same contract as the in-process executors); only infrastructure failures —
 the job could not be run at all — consume a retry attempt.
+
+Exit codes (documented in ``docs/distributed.md``): **0** — clean exit
+(drained, idle timeout, or job budget reached); **2** — bad command line
+(argparse); **3** — the queue transport is unreachable (broker down,
+unwritable queue directory), reported as a one-line message rather than a
+traceback.
 
 Workers with custom (non-built-in) cases set ``REPRO_CASE_PROVIDERS`` to a
 colon-separated list of modules to import before execution (see
@@ -35,11 +43,25 @@ from typing import Optional
 
 from repro.campaign.cache import ResultCache
 from repro.campaign.dist.queue import WorkItem, WorkQueue
+from repro.campaign.dist.transport import TransportError, transport_from_address
 from repro.campaign.jobs import (
     JobResult,
     execute_job,
     result_from_record_or_none,
 )
+
+#: Exit code for an unreachable queue transport (see module docstring).
+EXIT_TRANSPORT_ERROR = 3
+
+
+class WorkerCrash(Exception):
+    """Injected crash for in-process (thread-fleet) workers.
+
+    Raised by the ``crash_after_claims`` test hook under
+    ``crash_mode="abandon"``: the worker abandons its claim without
+    settling it — the thread-fleet analogue of a process hard-exit — and
+    the dangling lease must expire and requeue, exactly like a real crash.
+    """
 
 
 class _LeaseHeartbeat(threading.Thread):
@@ -55,19 +77,23 @@ class _LeaseHeartbeat(threading.Thread):
         self.interval = max(0.05, queue.lease_seconds / 4.0)
 
     def run(self) -> None:
+        """Renew until :meth:`stop`; transient transport errors are retried
+        on the next beat rather than surfaced (the settle path reports)."""
         while not self._halt.wait(self.interval):
             try:
                 self._queue.heartbeat(self._item)
-            except OSError:  # pragma: no cover - transient filesystem error
-                pass
+            except (OSError, TransportError):  # pragma: no cover - transient
+                pass  # the next beat retries; a dead transport surfaces
+                # through the executing job's settle path instead
 
     def stop(self) -> None:
+        """Stop renewing and join the thread (bounded wait)."""
         self._halt.set()
         self.join(timeout=2.0)
 
 
 class Worker:
-    """One worker process's claim-execute-settle loop.
+    """One worker's claim-execute-settle loop (process- or thread-hosted).
 
     Parameters
     ----------
@@ -76,10 +102,18 @@ class Worker:
         how executor-spawned fleets shut down.  A standing worker (the
         default) keeps polling for new jobs forever, bounded by
         ``idle_timeout`` / ``max_jobs`` when given.
+    idle_timeout:
+        Exit after this many consecutive seconds without a claimable job.
+        Autoscaled fleets use this as their scale-*down* path: surplus
+        workers starve and exit; nothing ever preempts a running job.
     crash_after_claims:
-        Test hook: hard-exit the process (``os._exit``) immediately after
-        the N-th successful claim, *before* settling it — simulating a
-        worker crash mid-job with a dangling lease.
+        Test hook: simulate a worker crash immediately after the N-th
+        successful claim, *before* settling it, leaving a dangling lease.
+    crash_mode:
+        How the injected crash manifests: ``"exit"`` hard-exits the
+        process (``os._exit``, for spawned worker processes);
+        ``"abandon"`` raises :class:`WorkerCrash` (for thread-hosted
+        workers, where ``os._exit`` would take the whole fleet down).
     """
 
     def __init__(self, queue: WorkQueue,
@@ -91,7 +125,10 @@ class Worker:
                  exit_when_drained: bool = False,
                  deadline: Optional[float] = None,
                  crash_after_claims: Optional[int] = None,
+                 crash_mode: str = "exit",
                  log=None):
+        if crash_mode not in ("exit", "abandon"):
+            raise ValueError("crash_mode must be 'exit' or 'abandon'")
         self.queue = queue
         self.cache = cache
         self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
@@ -104,13 +141,23 @@ class Worker:
         #: preemptible, exactly like SerialExecutor).
         self.deadline = deadline
         self.crash_after_claims = crash_after_claims
+        self.crash_mode = crash_mode
         self._log = log or (lambda _line: None)
         self.processed = 0
         self.cache_served = 0
         self.claims = 0
 
     def run(self) -> int:
-        """Process jobs until a stop condition holds; returns jobs settled."""
+        """Process jobs until a stop condition holds; returns jobs settled.
+
+        Raises
+        ------
+        TransportError:
+            The queue's backing store became unreachable (retries
+            exhausted).  The CLI maps this to exit code 3.
+        WorkerCrash:
+            Only under the ``crash_mode="abandon"`` test hook.
+        """
         idle_since: Optional[float] = None
         next_scavenge = 0.0
         while True:
@@ -119,10 +166,10 @@ class Worker:
             if (self.deadline is not None
                     and time.monotonic() >= self.deadline):
                 break
-            # Scavenging scans every claimed ticket's lease; leases cannot
-            # expire faster than lease_seconds, so once per half-lease per
-            # worker gives identical recovery latency at a fraction of the
-            # (possibly NFS) metadata traffic.
+            # Scavenging scans every claim document; leases cannot expire
+            # faster than lease_seconds, so once per half-lease per worker
+            # gives identical recovery latency at a fraction of the
+            # (possibly NFS or HTTP) metadata traffic.
             now = time.monotonic()
             if now >= next_scavenge:
                 self.queue.requeue_expired()
@@ -144,7 +191,10 @@ class Worker:
                     and self.claims >= self.crash_after_claims):
                 self._log(f"{self.worker_id}: injected crash after claim "
                           f"#{self.claims} ({item.key})")
-                os._exit(42)
+                if self.crash_mode == "exit":
+                    os._exit(42)
+                raise WorkerCrash(f"abandoned {item.key} after claim "
+                                  f"#{self.claims}")
             self._run_item(item)
             self.processed += 1
         return self.processed
@@ -192,13 +242,41 @@ class Worker:
 
 
 def main(argv: Optional[list] = None) -> int:
+    """CLI entry point; returns the process exit code (see module docstring)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.campaign.dist.worker",
         description="Claim and execute campaign jobs from a durable work "
-                    "queue directory.")
+                    "queue (a shared directory or an HTTP broker).",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "environment:\n"
+            "  REPRO_CASE_PROVIDERS   colon-separated modules imported "
+            "before execution,\n"
+            "                         so workers can run cases registered "
+            "outside repro.workloads\n"
+            "                         (e.g. REPRO_CASE_PROVIDERS=my.cases "
+            "registers @register_case\n"
+            "                         decorators in my/cases.py)\n"
+            "\n"
+            "caveats:\n"
+            "  The shared ResultCache's hits/misses counters are "
+            "per-process: each worker\n"
+            "  counts only its own probes.  For per-campaign accounting "
+            "read\n"
+            "  CampaignResult.meta['cache'] on the orchestrator side "
+            "(docs/distributed.md).\n"
+            "\n"
+            "exit codes:\n"
+            "  0  clean exit (queue drained, idle timeout, or --max-jobs "
+            "reached)\n"
+            "  2  bad command line\n"
+            "  3  queue transport unreachable (broker down / queue "
+            "directory unwritable)\n"))
     parser.add_argument("--queue", required=True,
-                        help="work-queue directory (created by the "
-                             "orchestrator / DistributedExecutor)")
+                        help="work-queue directory or broker URL "
+                             "(http://host:port), as created by the "
+                             "orchestrator / DistributedExecutor / "
+                             "python -m repro.campaign.dist.server")
     parser.add_argument("--cache", default=None,
                         help="shared ResultCache directory for cross-worker "
                              "deduplication")
@@ -208,12 +286,16 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--poll-interval", type=float, default=0.2,
                         help="seconds between claim attempts when idle")
     parser.add_argument("--idle-timeout", type=float, default=None,
-                        help="exit after this many consecutive idle seconds")
+                        help="exit after this many consecutive idle seconds "
+                             "(autoscaled fleets use this to shrink)")
     parser.add_argument("--max-jobs", type=int, default=None,
                         help="exit after settling this many jobs")
     parser.add_argument("--exit-when-drained", action="store_true",
                         help="exit once the queue has no pending or claimed "
                              "work (fleet mode)")
+    parser.add_argument("--transport-retries", type=int, default=5,
+                        help="connection retries before giving up on an "
+                             "unreachable broker (exit code 3)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-job progress lines")
     # Test hook: simulate a worker crash (hard exit) mid-job.
@@ -221,18 +303,25 @@ def main(argv: Optional[list] = None) -> int:
                         help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
 
-    queue = WorkQueue(args.queue)
-    cache = ResultCache(args.cache) if args.cache else None
     log = (lambda _line: None) if args.quiet else (
         lambda line: print(line, flush=True))
-    worker = Worker(queue, cache=cache, worker_id=args.worker_id,
-                    poll_interval=args.poll_interval,
-                    idle_timeout=args.idle_timeout,
-                    max_jobs=args.max_jobs,
-                    exit_when_drained=args.exit_when_drained,
-                    crash_after_claims=args.crash_after_claims,
-                    log=log)
-    processed = worker.run()
+    try:
+        transport = transport_from_address(args.queue,
+                                           retries=args.transport_retries)
+        queue = WorkQueue(transport=transport)
+        cache = ResultCache(args.cache) if args.cache else None
+        worker = Worker(queue, cache=cache, worker_id=args.worker_id,
+                        poll_interval=args.poll_interval,
+                        idle_timeout=args.idle_timeout,
+                        max_jobs=args.max_jobs,
+                        exit_when_drained=args.exit_when_drained,
+                        crash_after_claims=args.crash_after_claims,
+                        log=log)
+        processed = worker.run()
+    except TransportError as exc:
+        print(f"worker: cannot reach queue {args.queue!r}: {exc}",
+              file=sys.stderr, flush=True)
+        return EXIT_TRANSPORT_ERROR
     log(f"{worker.worker_id}: exiting after {processed} jobs "
         f"({worker.cache_served} cache-served); queue now {queue!r}")
     return 0

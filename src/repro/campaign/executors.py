@@ -26,6 +26,7 @@ class SerialExecutor:
     name = "serial"
 
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        """Apply ``fn`` to every item in order; the reference executor."""
         return [fn(item) for item in items]
 
     def __repr__(self) -> str:
@@ -56,6 +57,7 @@ class AsyncExecutor:
         self.max_workers = max_workers
 
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        """Thread-pool ``fn`` over ``items``; results stay in input order."""
         items = list(items)
         if len(items) <= 1 or self.max_workers == 1:
             return [fn(item) for item in items]
@@ -89,6 +91,7 @@ class MultiprocessingExecutor:
         self.chunksize = max(1, int(chunksize))
 
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        """Fan ``fn`` over a process pool; results stay in input order."""
         items = list(items)
         if not items:
             return []

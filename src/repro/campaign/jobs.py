@@ -72,6 +72,8 @@ def get_case(name: str) -> CaseRunner:
 
 
 def available_cases() -> List[str]:
+    """Every registered case name, after importing all provider modules
+    (the defaults plus ``REPRO_CASE_PROVIDERS`` entries)."""
     for module in _providers():
         importlib.import_module(module)
     return sorted(_CASES)
@@ -92,9 +94,12 @@ class JobResult:
 
     @property
     def ok(self) -> bool:
+        """True when the job ran (or was served) without a captured error."""
         return self.error is None
 
     def to_record(self) -> Dict[str, Any]:
+        """JSON-able dict that :meth:`from_record` round-trips losslessly
+        (``cached`` is transport state, not content, and is excluded)."""
         return {
             "job_id": self.job_id,
             "case": self.case,
@@ -107,6 +112,9 @@ class JobResult:
 
     @staticmethod
     def from_record(record: Mapping[str, Any], cached: bool = False) -> "JobResult":
+        """Rebuild a result from :meth:`to_record` output; raises
+        ``KeyError`` on a foreign schema (see
+        :func:`result_from_record_or_none` for the tolerant path)."""
         return JobResult(job_id=record["job_id"], case=record["case"],
                          params=dict(record["params"]), seed=record["seed"],
                          metrics=dict(record["metrics"]),

@@ -76,10 +76,12 @@ class JobSpec:
 
     @property
     def fingerprint(self) -> str:
+        """Content hash of what the job computes (case, params, repeat)."""
         return job_fingerprint(self.case, self.params, self.repeat)
 
     @property
     def job_id(self) -> str:
+        """Stable identity: human-scannable prefix + content fingerprint."""
         return f"{self.case}-{self.index:04d}-{self.fingerprint[:8]}"
 
     def to_record(self) -> Dict[str, Any]:
@@ -95,6 +97,8 @@ class JobSpec:
 
     @staticmethod
     def from_record(record: Mapping[str, Any]) -> "JobSpec":
+        """Rebuild a spec from :meth:`to_record` output; raises
+        ``KeyError``/``TypeError`` on a foreign or truncated record."""
         return JobSpec(campaign=record["campaign"], case=record["case"],
                        index=record["index"], params=dict(record["params"]),
                        seed=record["seed"], repeat=record.get("repeat", 0))
@@ -194,6 +198,7 @@ class SweepSpec:
 
     @property
     def job_count(self) -> int:
+        """Grid size × repeats, without expanding the jobs."""
         count = self.repeats
         for values in self.grid.values():
             count *= len(values)

@@ -1,10 +1,12 @@
 """Acceptance tests of the distributed campaign subsystem.
 
 The headline property: a real-workload grid run through
-``DistributedExecutor`` with a multi-process worker fleet — *including a
-worker that crashes mid-job* — yields aggregates bit-identical to
-``SerialExecutor``, and a half-drained queue already aggregates into a
-queryable partial result with exact pending/running/failed accounting.
+``DistributedExecutor`` with a worker fleet — *including a worker that
+crashes mid-job* — yields aggregates bit-identical to ``SerialExecutor``,
+and it does so over every queue transport: the shared-filesystem
+directory, the in-process memory store (thread fleets) and the HTTP
+broker.  The parametrized crash suite is the proof that the transport
+seam is real — the queue state machine cannot tell the backends apart.
 
 The 12-job grid sweeps the platform itself (OST counts × page-cache sizes
 × device bandwidths): every job drives concurrent readers through the full
@@ -16,14 +18,16 @@ tier-1 fast.
 import pytest
 
 from repro.campaign import (
+    AutoscalePolicy,
     DistributedExecutor,
+    MemoryTransport,
     ResultCache,
     SerialExecutor,
     SweepSpec,
     run_campaign,
     snapshot_campaign,
 )
-from repro.campaign.dist import CostModel, WorkQueue, Worker
+from repro.campaign.dist import Broker, CostModel, WorkQueue
 from repro.campaign.jobs import execute_job
 from repro.workloads import platform_grid_spec
 
@@ -44,34 +48,60 @@ def _synthetic_spec(**overrides):
     return SweepSpec(**kwargs)
 
 
+@pytest.fixture(scope="module")
+def platform_serial():
+    """One serial run of the platform grid, shared by every transport leg."""
+    result = run_campaign(PLATFORM_SPEC, executor=SerialExecutor())
+    assert result.ok, result.failures
+    return result
+
+
+@pytest.fixture(params=["fs", "memory", "http"])
+def crash_fleet(request, tmp_path):
+    """Executor kwargs for a 2-worker fleet whose worker #1 crashes after
+    its second claim, per transport: process fleets hard-exit
+    (``os._exit`` via the worker CLI), the in-process thread fleet
+    abandons its claim (``WorkerCrash``) — both leave a dangling lease."""
+    if request.param == "fs":
+        yield dict(queue_dir=tmp_path / "queue",
+                   worker_extra_args=[(), ("--crash-after-claims", "2")])
+    elif request.param == "memory":
+        yield dict(transport=MemoryTransport(),
+                   worker_options=[{}, {"crash_after_claims": 2,
+                                        "crash_mode": "abandon"}])
+    else:
+        broker = Broker(data_dir=tmp_path / "broker").start()
+        try:
+            yield dict(transport=broker.url,
+                       worker_extra_args=[(), ("--crash-after-claims", "2")])
+        finally:
+            broker.stop()
+
+
 # -- the acceptance property -----------------------------------------------
 
-def test_distributed_fleet_with_worker_crash_matches_serial(tmp_path):
-    """12 real-workload jobs, 2 worker processes, one injected crash
-    mid-job: the lease expires, the job requeues, the surviving worker
-    finishes the grid, and the aggregate equals the serial run exactly."""
+def test_distributed_fleet_with_worker_crash_matches_serial(crash_fleet,
+                                                            platform_serial):
+    """12 real-workload jobs, 2 workers, one injected crash mid-job: the
+    lease expires, the job requeues, the surviving worker finishes the
+    grid, and the aggregate equals the serial run exactly — identically
+    over the filesystem, memory and HTTP transports."""
     assert PLATFORM_SPEC.job_count == 12
-    serial = run_campaign(PLATFORM_SPEC, executor=SerialExecutor())
-    assert serial.ok, serial.failures
-
     executor = DistributedExecutor(
-        queue_dir=tmp_path / "queue",
         workers=2,
         lease_seconds=1.0,      # short lease => fast crash recovery
         poll_interval=0.05,
         timeout=300.0,
-        # Worker 1 hard-exits (os._exit) right after its second claim,
-        # leaving a dangling lease on an unfinished job.
-        worker_extra_args=[(), ("--crash-after-claims", "2")],
+        **crash_fleet,
     )
     distributed = run_campaign(PLATFORM_SPEC, executor=executor)
 
     assert distributed.ok, distributed.failures
     assert len(distributed) == 12
     assert distributed.executor == "distributed"
-    assert (serial.aggregate_fingerprint()
+    assert (platform_serial.aggregate_fingerprint()
             == distributed.aggregate_fingerprint())
-    assert serial.rows() == distributed.rows()
+    assert platform_serial.rows() == distributed.rows()
 
     queue = executor.last_queue
     assert queue is not None
@@ -81,8 +111,7 @@ def test_distributed_fleet_with_worker_crash_matches_serial(tmp_path):
     # Prove the crash + recovery actually happened: the raw result records
     # carry the settling attempt number, so the job the crashed worker was
     # holding must have completed on attempt >= 2, by a different worker.
-    records = [queue._read_json(path)
-               for path in sorted((queue.root / "results").iterdir())]
+    records = list(queue.result_records().values())
     attempts = [record["attempts"] for record in records]
     assert max(attempts) >= 2, attempts
     crashed = [r for r in records if r["attempts"] >= 2]
@@ -155,6 +184,20 @@ def test_inline_distributed_executor_matches_serial(tmp_path):
                                            workers=0))
     assert (serial.aggregate_fingerprint()
             == distributed.aggregate_fingerprint())
+
+
+def test_thread_fleet_over_memory_transport_matches_serial():
+    """An address-less transport runs the fleet as threads: no process
+    spawns, no directories, same aggregates."""
+    spec = _synthetic_spec()
+    serial = run_campaign(spec, executor=SerialExecutor())
+    executor = DistributedExecutor(transport=MemoryTransport(), workers=2,
+                                   lease_seconds=5.0, poll_interval=0.01,
+                                   timeout=120.0)
+    distributed = run_campaign(spec, executor=executor)
+    assert (serial.aggregate_fingerprint()
+            == distributed.aggregate_fingerprint())
+    assert executor.spawned_total == 2
 
 
 def test_workers_deduplicate_through_shared_cache(tmp_path):
@@ -255,8 +298,8 @@ def test_unstartable_workers_fail_fast_with_diagnosis(tmp_path, monkeypatch):
                                    poll_interval=0.02, timeout=60.0)
     monkeypatch.setattr(
         DistributedExecutor, "_worker_command",
-        lambda self, root, index: [sys.executable, "-c",
-                                   "import sys; sys.exit(3)"])
+        lambda self, address, index: [sys.executable, "-c",
+                                      "import sys; sys.exit(3)"])
     with pytest.raises(RuntimeError, match=r"exit codes \[3\]"):
         executor.map(execute_job, spec.expand())
     assert executor.respawns <= executor.workers
@@ -284,3 +327,79 @@ def test_unknown_case_dead_letters_after_retries(tmp_path):
     assert not result.ok
     assert "UnknownCaseError" in result.failures[0].error
     assert WorkQueue(queue_dir).counts()["dead"] == 1
+
+
+# -- autoscaling -------------------------------------------------------------
+
+def test_autoscale_policy_sizes_from_depth_and_backlog():
+    policy = AutoscalePolicy(min_workers=1, max_workers=4,
+                             jobs_per_worker=4.0, backlog_seconds=60.0)
+    assert policy.desired_workers(pending=0, backlog=0.0) == 0
+    assert policy.desired_workers(pending=1, backlog=0.0) == 1
+    assert policy.desired_workers(pending=8, backlog=0.0) == 2
+    assert policy.desired_workers(pending=100, backlog=0.0) == 4  # clamp
+    # The cost backlog can demand more than the depth alone.
+    assert policy.desired_workers(pending=2, backlog=600.0) == 4
+    assert policy.desired_from({"pending": 8.0, "seconds": 30.0}) == 2
+    # Depth-only policies ignore the backlog signal entirely.
+    depth_only = AutoscalePolicy(max_workers=8, jobs_per_worker=1.0)
+    assert depth_only.desired_workers(pending=3, backlog=1e9) == 3
+
+
+def test_autoscale_policy_validates():
+    with pytest.raises(ValueError):
+        AutoscalePolicy(min_workers=-1)
+    with pytest.raises(ValueError):
+        AutoscalePolicy(min_workers=5, max_workers=2)
+    with pytest.raises(ValueError):
+        AutoscalePolicy(jobs_per_worker=0.0)
+    with pytest.raises(ValueError):
+        AutoscalePolicy(backlog_seconds=-1.0)
+    with pytest.raises(ValueError):
+        AutoscalePolicy(idle_timeout=0.0)
+
+
+def test_autoscale_spawn_storm_guard_survives_historical_clean_exits():
+    """The broken-fleet diagnosis must key off the *newest* worker's exit,
+    not the whole history: one early clean attrition exit (code 0) in the
+    handle list must not disable the respawn cap when the broker later
+    dies and every fresh worker exits 3."""
+    class FakeHandle:
+        def __init__(self, code):
+            self.code = code
+
+        def poll(self):
+            return self.code
+
+    executor = DistributedExecutor(
+        transport=MemoryTransport(),
+        autoscale=AutoscalePolicy(min_workers=1, max_workers=2,
+                                  jobs_per_worker=1.0))
+    queue = WorkQueue(transport=executor.transport)
+    queue.enqueue_grid(_synthetic_spec().expand())  # claimable work exists
+    executor._spawn = lambda q, index: FakeHandle(3)  # every spawn dies
+
+    handles = [FakeHandle(0), FakeHandle(3)]  # attrition exit + failure
+    with pytest.raises(RuntimeError, match="exit codes"):
+        for _ in range(10):
+            executor._autoscale_tick(queue, handles)
+    assert executor.respawns <= executor._max_respawns()
+
+
+def test_autoscaled_fleet_matches_serial_and_grows():
+    """An autoscaled thread fleet sizes itself from queue depth (8 jobs /
+    2 per worker, clamped to 3), drains the grid, and still reproduces
+    the serial aggregate bit-for-bit."""
+    spec = _synthetic_spec()
+    serial = run_campaign(spec, executor=SerialExecutor())
+    executor = DistributedExecutor(
+        transport=MemoryTransport(),
+        autoscale=AutoscalePolicy(min_workers=1, max_workers=3,
+                                  jobs_per_worker=2.0, idle_timeout=0.5),
+        lease_seconds=5.0, poll_interval=0.01, timeout=120.0)
+    distributed = run_campaign(spec, executor=executor)
+    assert distributed.ok, distributed.failures
+    assert (serial.aggregate_fingerprint()
+            == distributed.aggregate_fingerprint())
+    assert executor.spawned_total == 3  # grew past a single worker, clamped
+    assert executor.last_queue.drained()

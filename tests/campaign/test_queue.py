@@ -6,16 +6,32 @@ bookkeeping reads as "requeueable", and only exhausting ``max_attempts``
 (or a corrupt immutable job record, which leaves nothing to execute)
 parks a job in the dead-letter state.  Time is injected so lease expiry
 is tested without sleeping.
+
+Every test here runs three times — over the filesystem, in-memory and
+HTTP-broker transports — because the queue's whole claim to a *pluggable*
+storage seam is that these properties are transport-independent.
+Corruption is injected through the transport (``transport.put`` of
+garbage bytes), which reaches all three backends identically.
 """
 
 import json
-import os
 
 import pytest
 
 from repro.campaign import SweepSpec
-from repro.campaign.dist import CostModel, WorkQueue, priority_for_cost
+from repro.campaign.dist import (
+    CostModel,
+    FsTransport,
+    HttpTransport,
+    MemoryTransport,
+    WorkQueue,
+    cost_for_priority,
+    priority_for_cost,
+)
+from repro.campaign.dist.server import Broker
 from repro.campaign.jobs import JobResult, execute_job
+
+TRANSPORTS = ("fs", "memory", "http")
 
 
 def _spec(**overrides):
@@ -45,10 +61,28 @@ def clock():
     return FakeClock()
 
 
+@pytest.fixture(params=TRANSPORTS)
+def make_transport(request, tmp_path):
+    """Factory yielding transports that all address the *same* store, so
+    tests can model a second process opening an existing queue."""
+    if request.param == "fs":
+        yield lambda: FsTransport(tmp_path / "q")
+    elif request.param == "memory":
+        shared = MemoryTransport()
+        yield lambda: shared
+    else:
+        broker = Broker().start()
+        try:
+            yield lambda: HttpTransport(broker.url, retries=2,
+                                        retry_delay=0.05)
+        finally:
+            broker.stop()
+
+
 @pytest.fixture
-def queue(tmp_path, clock):
-    return WorkQueue(tmp_path / "q", lease_seconds=10.0, max_attempts=3,
-                     clock=clock)
+def queue(make_transport, clock):
+    return WorkQueue(transport=make_transport(), lease_seconds=10.0,
+                     max_attempts=3, clock=clock)
 
 
 # -- lifecycle --------------------------------------------------------------
@@ -109,6 +143,14 @@ def test_priority_encoding_sorts_longest_first():
     assert priority_for_cost(-1.0) == priority_for_cost(0.0)
 
 
+def test_priority_encoding_round_trips_for_backlog():
+    """The autoscaler reads cost estimates back out of ticket names."""
+    for cost in (0.0, 0.25, 1.0, 8.0, 3600.0):
+        name = f"{priority_for_cost(cost)}-somejob"
+        assert cost_for_priority(name) == pytest.approx(cost, abs=1e-3)
+    assert cost_for_priority("not-a-ticket") == 0.0
+
+
 def test_claim_is_mutually_exclusive(queue):
     jobs = _jobs()
     for job in jobs:
@@ -132,6 +174,20 @@ def test_workload_error_results_settle_as_completed(queue):
     assert not queue.results()[job.job_id].ok
 
 
+def test_backlog_tracks_unclaimed_cost(queue):
+    jobs = _jobs()
+    costs = [0.5, 8.0, 2.0, 4.0]
+    for job, cost in zip(jobs, costs):
+        queue.enqueue(job, cost=cost)
+    backlog = queue.backlog()
+    assert backlog["pending"] == 4
+    assert backlog["seconds"] == pytest.approx(sum(costs), abs=1e-2)
+    queue.claim("w0")  # the 8.0s job leaves the claimable backlog
+    backlog = queue.backlog()
+    assert backlog["pending"] == 3
+    assert backlog["seconds"] == pytest.approx(sum(costs) - 8.0, abs=1e-2)
+
+
 # -- leases, retries, dead-letter ------------------------------------------
 
 def test_expired_lease_is_requeued_with_attempt_count(queue, clock):
@@ -153,10 +209,27 @@ def test_heartbeat_keeps_the_lease_alive(queue, clock):
     queue.enqueue(job)
     item = queue.claim("w0")
     clock.advance(8.0)
-    queue.heartbeat(item)
+    assert queue.heartbeat(item)
     clock.advance(8.0)  # 16s since claim, 8s since heartbeat
     assert queue.requeue_expired() == []
     assert queue.counts()["claimed"] == 1
+
+
+def test_heartbeat_cannot_resurrect_a_reclaimed_lease(queue, clock):
+    """Once the scavenger released an expired claim, the old holder's
+    heartbeat must fail — a CAS on a deleted document — rather than
+    blocking the requeued ticket forever (the bug an unconditional lease
+    write would reintroduce)."""
+    job = _jobs()[0]
+    queue.enqueue(job)
+    stale = queue.claim("slow-worker")
+    clock.advance(11.0)
+    assert queue.requeue_expired() == [job.job_id]
+    assert not queue.heartbeat(stale)  # claim document is gone
+    fresh = queue.claim("fresh-worker")
+    assert fresh is not None and fresh.attempts == 1
+    assert not queue.heartbeat(stale)  # now it is someone else's claim
+    assert queue.heartbeat(fresh)
 
 
 def test_max_attempts_dead_letters(queue, clock):
@@ -226,15 +299,103 @@ def test_completion_after_expiry_requeue_is_harmless(queue, clock):
     assert queue.results()[job.job_id].metrics == result.metrics
 
 
+def test_late_completion_cannot_release_the_new_claim(queue, clock):
+    """Sharper than harmless: worker A's stale claim etag must not delete
+    worker B's *live* claim while B is still executing a different
+    attempt — A only retires bookkeeping its own etag still matches."""
+    job = _jobs()[0]
+    queue.enqueue(job)
+    item_a = queue.claim("wA")
+    clock.advance(11.0)
+    queue.requeue_expired()
+    item_b = queue.claim("wB")
+    assert item_b is not None
+    queue.complete(item_a, execute_job(job))  # A finishes late
+    # B's lease still stands (the result exists, so B's job is moot, but
+    # the claim release must come from B or the scavenger — not from A).
+    assert queue.heartbeat(item_b)
+    queue.complete(item_b, execute_job(job))
+    assert queue.drained()
+
+
+def test_claim_adopts_its_own_lost_response_write(queue, clock):
+    """An HTTP retry can land the claim document and then see its second
+    attempt rejected (the first response was lost): when the stored bytes
+    are exactly the claimer's own payload, the claim is adopted instead
+    of skipped — skipping would strand the worker's own lease and burn a
+    retry attempt the job never used."""
+    from repro.campaign.jsonio import json_dumps_bytes
+
+    job = _jobs()[0]
+    queue.enqueue(job)
+    # Simulate the lost response: the claim-create lands in the store but
+    # the caller sees a conflict (what an HTTP retry observes after its
+    # first attempt's response vanished).
+    real_cas = queue.transport.cas
+    dropped = []
+
+    def lossy_cas(key, data, if_match=None):
+        tag = real_cas(key, data, if_match=if_match)
+        if (key.startswith("claims/") and if_match is None
+                and tag is not None and not dropped):
+            dropped.append(key)
+            return None  # the write landed; the response did not
+        return tag
+
+    queue.transport.cas = lossy_cas
+    item = queue.claim("w0")
+    assert dropped, "the simulated lost response never triggered"
+    assert item is not None and item.key == job.job_id
+    assert item.etag  # adopted, heartbeat/settle work as usual
+    assert queue.heartbeat(item)
+    queue.complete(item, execute_job(item.job))
+    assert queue.drained()
+    assert queue.counts()["dead"] == 0  # no retry attempt was burned
+    # A genuinely foreign claim is still not stolen.
+    name2 = queue.enqueue(_jobs()[1])
+    queue.transport.put(f"claims/{name2}.json", json_dumps_bytes(
+        queue._lease_payload("someone-else", 0, clock())))
+    assert queue.claim("w0") is None
+
+
+def test_torn_queue_config_is_healed(make_transport):
+    """A garbage queue.json (torn create, external corruption) must be
+    healed with an atomic rewrite — not silently papered over with each
+    participant's own constructor defaults, which would let orchestrator
+    and workers run divergent lease policies."""
+    first = WorkQueue(transport=make_transport(), lease_seconds=5.0,
+                      max_attempts=7)
+    first.transport.put("queue.json", b"not json at all")
+    healer = WorkQueue(transport=make_transport(), lease_seconds=9.0,
+                       max_attempts=2)
+    assert healer.lease_seconds == 9.0  # the healer's policy won
+    # ... and was persisted: a later default open adopts it rather than
+    # falling back to its own defaults.
+    adopted = WorkQueue(transport=make_transport())
+    assert adopted.lease_seconds == 9.0
+    assert adopted.max_attempts == 2
+
+
+def test_fresh_claim_is_never_stealable(queue, clock):
+    """The claim document *is* the lease, created in the same atomic
+    operation — so there is no claim-without-lease window for a racing
+    scavenger to steal, even for a job that sat pending a long time."""
+    job = _jobs()[0]
+    queue.enqueue(job)
+    clock.advance(50.0)  # pending far longer than lease_seconds
+    assert queue.claim("w0") is not None
+    assert queue.requeue_expired() == []  # lease runs from the claim
+    assert queue.counts()["claimed"] == 1
+
+
 # -- crash consistency ------------------------------------------------------
 
-def test_garbage_ticket_is_claimable_not_fatal(queue, tmp_path):
+def test_garbage_ticket_is_claimable_not_fatal(queue):
     """A truncated/garbage pending ticket must not lose the job: the spec
     in jobs/ is intact, so the claim proceeds with attempts reset to 0."""
     job = _jobs()[0]
     name = queue.enqueue(job)
-    (tmp_path / "q" / "pending" / f"{name}.json").write_text(
-        '{"attempts": 2', encoding="utf-8")  # truncated JSON
+    queue.transport.put(f"pending/{name}.json", b'{"attempts": 2')  # torn
     item = queue.claim("w0")
     assert item is not None
     assert item.key == job.job_id
@@ -243,60 +404,60 @@ def test_garbage_ticket_is_claimable_not_fatal(queue, tmp_path):
     assert queue.drained()
 
 
-def test_garbage_lease_reads_as_expired(queue, tmp_path, clock):
+def test_garbage_claim_reads_as_expired(queue, clock):
     job = _jobs()[0]
     name = queue.enqueue(job)
     assert queue.claim("w0") is not None
-    lease = tmp_path / "q" / "leases" / f"{name}.json"
-    lease.write_text("not json at all", encoding="utf-8")
-    # No clock advance needed: an unreadable lease *file* counts as
-    # expired immediately (lease writes are atomic, so garbage means
+    queue.transport.put(f"claims/{name}.json", b"not json at all")
+    # No clock advance needed: an unreadable claim document counts as
+    # expired immediately (claim writes are atomic, so garbage means
     # external corruption, not a mid-write heartbeat).
     assert queue.requeue_expired() == [job.job_id]
     assert queue.claim("w1").attempts == 1
 
 
-def test_missing_lease_gets_claim_window_grace(queue, tmp_path, clock):
-    """claim() commits with the ticket rename and writes the lease a few
-    syscalls later: a scavenger racing through that window must not steal
-    the claim.  Only a claim *older* than a full lease with no lease file
-    (the claimant crashed mid-claim) is requeued."""
+def test_crashed_settle_is_healed_from_the_result(queue, clock):
+    """A worker that persisted the result and crashed before retiring its
+    ticket/claim loses no work: the scavenger retires the claim against
+    the result record instead of re-running the job."""
     job = _jobs()[0]
     name = queue.enqueue(job)
-    assert queue.claim("w0") is not None
-    ticket = tmp_path / "q" / "claimed" / f"{name}.json"
-    os.unlink(tmp_path / "q" / "leases" / f"{name}.json")
-
-    os.utime(ticket, (clock.now - 1.0, clock.now - 1.0))  # young claim
-    assert queue.requeue_expired() == []
+    item = queue.claim("w0")
+    # Simulate the crash window inside complete(): result written, ticket
+    # and claim still standing.
+    queue._put_json(f"results/{item.key}.json", {
+        "result": execute_job(job).to_record(), "cached": False,
+        "worker": "w0", "attempts": 1})
     assert queue.counts()["claimed"] == 1
+    clock.advance(11.0)
+    assert queue.requeue_expired() == []  # retired, not requeued
+    assert queue.drained()
+    assert queue.counts()["done"] == 1
+    assert queue.results()[job.job_id].ok
+    assert name not in queue._names("claims")
 
-    os.utime(ticket, (clock.now - 11.0, clock.now - 11.0))  # beyond grace
-    assert queue.requeue_expired() == [job.job_id]
-    assert queue.claim("w1").attempts == 1
 
-
-def test_claim_stamps_ticket_with_claim_time(queue, tmp_path, clock):
-    """os.rename preserves mtime, so claim() must re-stamp the ticket:
-    a job that sat pending longer than a lease, claimed a moment ago,
-    is inside the grace window — not instantly stealable."""
+def test_crashed_bury_is_healed_from_the_dead_record(queue, clock):
+    """Crash between writing dead/<key> and deleting the bookkeeping: the
+    dead record is authoritative and the scavenger finishes the burial."""
     job = _jobs()[0]
     name = queue.enqueue(job)
-    clock.advance(50.0)  # pending far longer than lease_seconds
     assert queue.claim("w0") is not None
-    os.unlink(tmp_path / "q" / "leases" / f"{name}.json")  # pre-lease window
-    assert queue.requeue_expired() == []  # grace runs from the claim, not
-    assert queue.counts()["claimed"] == 1  # the enqueue write
+    queue._put_json(f"dead/{job.job_id}.json",
+                    {"job": job.to_record(), "error": "x", "attempts": 3})
+    clock.advance(11.0)
+    assert queue.requeue_expired() == []
+    assert queue.drained()
+    assert queue.counts() == {"pending": 0, "claimed": 0, "done": 0, "dead": 1}
 
 
-def test_corrupt_job_record_is_dead_lettered_not_fatal(queue, tmp_path):
+def test_corrupt_job_record_is_dead_lettered_not_fatal(queue):
     """Only the immutable spec's corruption buries a job — nothing is left
     to execute — and the rest of the queue keeps flowing."""
     jobs = _jobs()
     for job in jobs:
         queue.enqueue(job)
-    (tmp_path / "q" / "jobs" / f"{jobs[0].job_id}.json").write_text(
-        "{ truncated", encoding="utf-8")
+    queue.transport.put(f"jobs/{jobs[0].job_id}.json", b"{ truncated")
     claimed = []
     while True:
         item = queue.claim("w0")
@@ -309,55 +470,37 @@ def test_corrupt_job_record_is_dead_lettered_not_fatal(queue, tmp_path):
     assert "corrupt job record" in queue.dead()[jobs[0].job_id]["error"]
 
 
-def test_foreign_files_in_state_dirs_are_ignored(queue, tmp_path):
-    (tmp_path / "q" / "pending" / "README.json").write_text(
-        "{}", encoding="utf-8")  # no priority prefix: not a ticket
-    (tmp_path / "q" / "pending" / "notes.txt").write_text(
-        "hi", encoding="utf-8")
+def test_foreign_documents_in_state_prefixes_are_ignored(queue):
+    queue.transport.put("pending/README.json", b"{}")  # no priority prefix
+    queue.transport.put("pending/notes.txt", b"hi")    # not even JSON-named
     assert queue.claim("w0") is None
     job = _jobs()[0]
     queue.enqueue(job)
     assert queue.claim("w0") is not None
 
 
-def test_duplicate_pending_and_claimed_state_heals(queue, tmp_path):
-    """A ticket present in both pending/ and claimed/ (external corruption
-    or legacy crash residue) folds back into a single pending ticket via
-    an atomic rename — never an unlink that could strand a racing claim.
-    The conservative claimed-side attempt count wins."""
-    job = _jobs()[0]
-    name = queue.enqueue(job)
-    queue.claim("w0")
-    (tmp_path / "q" / "pending" / f"{name}.json").write_text(
-        json.dumps({"attempts": 1}), encoding="utf-8")
-    queue.requeue_expired()
-    assert queue.counts()["pending"] == 1
-    assert queue.counts()["claimed"] == 0
-    assert queue.claim("w0").attempts == 0
-
-
-def test_queue_config_is_shared_across_opens(tmp_path):
-    WorkQueue(tmp_path / "q", lease_seconds=5.0, max_attempts=7)
-    reopened = WorkQueue(tmp_path / "q", lease_seconds=99.0, max_attempts=1)
+def test_queue_config_is_shared_across_opens(make_transport):
+    WorkQueue(transport=make_transport(), lease_seconds=5.0, max_attempts=7)
+    reopened = WorkQueue(transport=make_transport(), lease_seconds=99.0,
+                         max_attempts=1)
     assert reopened.lease_seconds == 5.0
     assert reopened.max_attempts == 7
 
 
-def test_invalid_config_is_rejected_without_poisoning_the_directory(tmp_path):
+def test_invalid_config_is_rejected_without_poisoning_the_store(make_transport):
     with pytest.raises(ValueError):
-        WorkQueue(tmp_path / "q", lease_seconds=0.0)
+        WorkQueue(transport=make_transport(), lease_seconds=0.0)
     # The bad call must not have persisted its config: a valid open works.
-    queue = WorkQueue(tmp_path / "q", lease_seconds=5.0)
+    queue = WorkQueue(transport=make_transport(), lease_seconds=5.0)
     assert queue.lease_seconds == 5.0
 
 
-def test_corrupt_result_file_is_skipped(queue, tmp_path):
+def test_corrupt_result_document_is_skipped(queue):
     job = _jobs()[0]
     queue.enqueue(job)
     item = queue.claim("w0")
     queue.complete(item, execute_job(item.job))
-    (tmp_path / "q" / "results" / f"{job.job_id}.json").write_text(
-        "{ nope", encoding="utf-8")
+    queue.transport.put(f"results/{job.job_id}.json", b"{ nope")
     assert queue.results() == {}  # unreadable record, not a crash
 
 

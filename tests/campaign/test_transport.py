@@ -1,0 +1,242 @@
+"""Transport-contract and transport-edge-case tests.
+
+The queue's pluggability claim is only real if every backend honors the
+same storage contract — in particular the conditional-create CAS that all
+mutual exclusion rests on — and if the backends' *specific* failure modes
+(a broker restart mid-lease, a torn filesystem write, concurrent
+in-process claimants) leave the queue consistent.  The contract tests run
+over all three transports; the edge-case tests target the backend that
+owns each failure mode.
+"""
+
+import threading
+
+import pytest
+
+from repro.campaign import SweepSpec
+from repro.campaign.dist import (
+    FsTransport,
+    HttpTransport,
+    MemoryTransport,
+    TransportError,
+    WorkQueue,
+    transport_from_address,
+)
+from repro.campaign.dist.server import Broker
+from repro.campaign.dist.transport import etag_of
+from repro.campaign.jobs import execute_job
+
+
+def _spec(**overrides):
+    kwargs = dict(name="transport-spec", case="synthetic",
+                  base={"rate": 150.0},
+                  grid={"workers": [1, 2], "tasks": [4, 8]})
+    kwargs.update(overrides)
+    return SweepSpec(**kwargs)
+
+
+@pytest.fixture(params=["fs", "memory", "http"])
+def transport(request, tmp_path):
+    if request.param == "fs":
+        yield FsTransport(tmp_path / "store")
+    elif request.param == "memory":
+        yield MemoryTransport()
+    else:
+        broker = Broker().start()
+        try:
+            yield HttpTransport(broker.url, retries=2, retry_delay=0.05)
+        finally:
+            broker.stop()
+
+
+# -- the storage contract ---------------------------------------------------
+
+def test_get_put_roundtrip_with_content_etag(transport):
+    assert transport.get("a/x.json") is None
+    tag = transport.put("a/x.json", b'{"v": 1}')
+    assert tag == etag_of(b'{"v": 1}')
+    assert transport.get("a/x.json") == (b'{"v": 1}', tag)
+
+
+def test_conditional_create_is_exclusive(transport):
+    assert transport.cas("k.json", b"first", if_match=None) is not None
+    assert transport.cas("k.json", b"second", if_match=None) is None
+    assert transport.get("k.json")[0] == b"first"
+
+
+def test_cas_update_requires_current_etag(transport):
+    tag = transport.put("k.json", b"v1")
+    assert transport.cas("k.json", b"v2", if_match="stale") is None
+    assert transport.get("k.json")[0] == b"v1"
+    new = transport.cas("k.json", b"v2", if_match=tag)
+    assert new == etag_of(b"v2")
+    assert transport.get("k.json")[0] == b"v2"
+    # CAS against a missing key can never succeed with a concrete etag.
+    assert transport.cas("missing.json", b"x", if_match=tag) is None
+
+
+def test_conditional_delete(transport):
+    tag = transport.put("k.json", b"v1")
+    assert not transport.delete("k.json", if_match="stale")
+    assert transport.get("k.json") is not None
+    assert transport.delete("k.json", if_match=tag)
+    assert transport.get("k.json") is None
+    assert not transport.delete("k.json")  # already gone
+
+
+def test_list_is_sorted_and_prefix_scoped(transport):
+    for key in ("s/b.json", "s/a.json", "t/c.json"):
+        transport.put(key, b"{}")
+    assert transport.list("s/") == ["s/a.json", "s/b.json"]
+    assert transport.list("t/") == ["t/c.json"]
+    assert transport.list("nope/") == []
+
+
+def test_etags_are_content_derived_across_transports(transport):
+    """Identical bytes get identical ETags on every backend — the property
+    that keeps leases valid across a broker restart."""
+    data = b'{"worker": "w0", "expires_at": 99.0}'
+    assert transport.put("claims/x.json", data) == etag_of(data)
+
+
+# -- CAS conflict on simultaneous claim -------------------------------------
+
+def test_simultaneous_claims_have_exactly_one_winner(transport):
+    """N threads hammering claim() concurrently: every job is claimed by
+    exactly one thread — the conditional-create CAS is the only arbiter,
+    so this is the direct test of the primitive the fleet relies on."""
+    jobs = _spec().expand()
+    queue = WorkQueue(transport=transport, lease_seconds=30.0)
+    for job in jobs:
+        queue.enqueue(job)
+
+    claimed, lock = [], threading.Lock()
+
+    def worker(wid):
+        # Each thread gets its own WorkQueue over the shared store, like
+        # separate processes would.
+        q = WorkQueue(transport=transport)
+        while True:
+            item = q.claim(f"w{wid}")
+            if item is None:
+                break
+            with lock:
+                claimed.append(item)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30.0)
+
+    assert len(claimed) == len(jobs)
+    assert len({item.key for item in claimed}) == len(jobs)
+    assert queue.counts()["claimed"] == len(jobs)
+
+
+def test_memory_transport_lease_expiry_requeues():
+    """The in-process transport honors the full lease state machine: an
+    abandoned claim expires and requeues with its attempt count bumped."""
+    clock = [1000.0]
+    queue = WorkQueue(transport=MemoryTransport(), lease_seconds=10.0,
+                      clock=lambda: clock[0])
+    job = _spec().expand()[0]
+    queue.enqueue(job)
+    assert queue.claim("doomed") is not None
+    assert queue.requeue_expired() == []  # live lease
+    clock[0] += 11.0
+    assert queue.requeue_expired() == [job.job_id]
+    retried = queue.claim("rescuer")
+    assert retried is not None and retried.attempts == 1
+    queue.complete(retried, execute_job(retried.job))
+    assert queue.drained()
+
+
+# -- broker lifecycle --------------------------------------------------------
+
+def test_broker_restart_mid_lease_preserves_queue_state(tmp_path):
+    """A disk-backed broker can die and come back mid-campaign: the held
+    lease survives (content-derived ETags restore identically), the
+    holder's heartbeat and completion still apply, and untouched tickets
+    remain claimable."""
+    data_dir = tmp_path / "broker-state"
+    broker = Broker(data_dir=data_dir).start()
+    transport = HttpTransport(broker.url, retries=3, retry_delay=0.1)
+    queue = WorkQueue(transport=transport, lease_seconds=60.0)
+    jobs = _spec().expand()
+    queue.enqueue_grid(jobs)
+    held = queue.claim("survivor")
+    assert held is not None
+
+    port = broker.port
+    broker.stop()
+    restarted = Broker(port=port, data_dir=data_dir).start()
+    try:
+        # Same URL, same state: the transport reconnects transparently.
+        assert queue.counts()["claimed"] == 1
+        assert queue.heartbeat(held)  # the lease etag survived the restart
+        queue.complete(held, execute_job(held.job))
+        rest = []
+        while True:
+            item = queue.claim("survivor")
+            if item is None:
+                break
+            queue.complete(item, execute_job(item.job))
+            rest.append(item.key)
+        assert len(rest) == len(jobs) - 1
+        assert queue.drained()
+        assert queue.counts()["done"] == len(jobs)
+        assert all(item.attempts == 0 for item in [held] + []), \
+            "restart must not consume retry attempts"
+    finally:
+        restarted.stop()
+
+
+def test_unreachable_broker_raises_transport_error_after_retries():
+    transport = HttpTransport("http://127.0.0.1:1", retries=1,
+                              retry_delay=0.01)
+    with pytest.raises(TransportError, match="unreachable"):
+        transport.get("queue.json")
+
+
+def test_fs_transport_wraps_unwritable_locations(tmp_path):
+    """An unwritable queue location is the filesystem analogue of an
+    unreachable broker: it must raise TransportError, not leak OSError."""
+    blocker = tmp_path / "not-a-dir"
+    blocker.write_text("file, not directory", encoding="utf-8")
+    with pytest.raises(TransportError, match="cannot create"):
+        FsTransport(blocker / "q")
+
+
+def test_worker_cli_exits_cleanly_on_unwritable_queue_dir(tmp_path, capsys):
+    """The documented exit-code contract covers filesystem queues too:
+    'queue directory unwritable' is exit 3 + one line, never a traceback."""
+    from repro.campaign.dist import worker as worker_cli
+
+    blocker = tmp_path / "not-a-dir"
+    blocker.write_text("file, not directory", encoding="utf-8")
+    code = worker_cli.main(["--queue", str(blocker / "q"), "--quiet"])
+    assert code == worker_cli.EXIT_TRANSPORT_ERROR == 3
+    err = capsys.readouterr().err
+    assert "cannot reach queue" in err
+    assert "Traceback" not in err
+
+
+def test_worker_cli_exits_cleanly_on_unreachable_broker(capsys):
+    """Satellite contract: a worker pointed at a dead broker exits with
+    code 3 and a one-line message, not a traceback."""
+    from repro.campaign.dist import worker as worker_cli
+
+    code = worker_cli.main(["--queue", "http://127.0.0.1:1",
+                            "--transport-retries", "0", "--quiet"])
+    assert code == worker_cli.EXIT_TRANSPORT_ERROR == 3
+    err = capsys.readouterr().err
+    assert "cannot reach queue" in err
+    assert "Traceback" not in err
+
+
+def test_transport_from_address_dispatch(tmp_path):
+    assert isinstance(transport_from_address(tmp_path / "q"), FsTransport)
+    http = transport_from_address("http://example.invalid:9")
+    assert isinstance(http, HttpTransport)
+    assert http.address == "http://example.invalid:9"
