@@ -1,0 +1,88 @@
+"""Micro-benchmark: result-cache put/get throughput across the transports.
+
+Measures cold ``put`` (conditional-create + canonical encode) and warm
+``get`` (probe + validate) cycles per second over each
+:class:`~repro.campaign.dist.transport.QueueTransport` backend, in one
+process back-to-back so machine noise hits all sides alike — the cache
+sibling of ``test_transport_throughput.py``.
+
+This is deduplication *overhead*, not simulation work: the numbers bound
+how small a job can be before probing the cache costs more than
+recomputing.  Expected shape: memory ≫ filesystem ≫ HTTP (a put/get pair
+over the broker is ~2-3 round trips), with the absolute floors asserted
+loose enough to survive CI hosts.  Opt-in via ``pytest -m bench``.
+"""
+
+import time
+
+import pytest
+
+from repro.campaign import (
+    MemoryTransport,
+    ResultCache,
+    SweepSpec,
+    TransportResultCache,
+)
+from repro.campaign.dist import HttpTransport
+from repro.campaign.dist.server import Broker
+
+pytestmark = pytest.mark.bench
+
+#: Cached entries per measured round.
+N_ENTRIES = 80
+
+
+def _jobs(n):
+    spec = SweepSpec(name="cache-bench", case="synthetic",
+                     base={"rate": 150.0}, grid={"tasks": list(range(n))})
+    return spec.expand()
+
+
+def _record(job):
+    return {"result": {"job_id": job.job_id, "case": job.case,
+                       "params": dict(job.params), "seed": job.seed,
+                       "metrics": {"makespan": 1.0}, "wall_time": 0.01,
+                       "error": None}}
+
+
+def _rates(cache, jobs):
+    """(cold puts/s, warm gets/s) over ``cache``."""
+    start = time.perf_counter()
+    for job in jobs:
+        cache.put(job, _record(job))
+    put_elapsed = time.perf_counter() - start
+    start = time.perf_counter()
+    for job in jobs:
+        assert cache.get(job) is not None
+    get_elapsed = time.perf_counter() - start
+    assert cache.hits == len(jobs)
+    return len(jobs) / put_elapsed, len(jobs) / get_elapsed
+
+
+@pytest.fixture(scope="module")
+def rates(tmp_path_factory):
+    jobs = _jobs(N_ENTRIES)
+    root = tmp_path_factory.mktemp("cache-bench")
+    out = {"memory": _rates(TransportResultCache(MemoryTransport()), jobs),
+           "fs": _rates(ResultCache(root / "fs-cache"), jobs)}
+    with Broker() as broker:
+        out["http"] = _rates(
+            TransportResultCache(HttpTransport(broker.url, retries=1)), jobs)
+    return out
+
+
+def test_report_and_floor_cache_rates(rates):
+    for name, (puts, gets) in sorted(rates.items(), key=lambda kv: -kv[1][1]):
+        print(f"\n{name:>7}: {puts:8,.0f} puts/s  {gets:8,.0f} gets/s")
+    # Loose floors: a put is one CAS of a ~400-byte document, a get one
+    # read + JSON validate; even the HTTP broker should sustain tens of
+    # operations per second on any CI host.
+    assert rates["memory"][0] > 500.0 and rates["memory"][1] > 500.0
+    assert rates["fs"][0] > 100.0 and rates["fs"][1] > 100.0
+    assert rates["http"][0] > 20.0 and rates["http"][1] > 20.0
+
+
+def test_memory_cache_is_the_fast_path(rates):
+    """Probing must stay cheap enough for many-tiny-job thread fleets: the
+    in-process store must comfortably outpace the network hop."""
+    assert rates["memory"][1] > rates["http"][1]

@@ -7,12 +7,14 @@ from docs/cookbook.md:
 1. an HTTP queue broker (`repro.campaign.dist.server`) with a disk-backed
    store, as you would run on a queue host;
 2. an autoscaled `DistributedExecutor` pointed at the broker *URL* — the
-   worker processes it spawns talk to the queue purely over HTTP, exactly
-   like workers on other machines would;
+   worker processes it spawns talk to the queue **and the result cache**
+   purely over HTTP (`--queue`/`--cache` the same broker), exactly like
+   workers on other machines would: no shared filesystem anywhere;
 3. a mid-flight `snapshot_campaign` poll over the same URL, showing a
    half-drained grid aggregating early;
 4. the serial==distributed fingerprint check, proving the transport hop
-   changed nothing about the results.
+   changed nothing about the results — plus a warm re-run served entirely
+   from the broker-hosted cache.
 
 Run with:  python examples/http_fleet.py [--jobs {12,36}] [--max-workers N]
 """
@@ -33,6 +35,7 @@ from repro.campaign import (
     HttpTransport,
     SerialExecutor,
     WorkQueue,
+    open_cache,
     run_campaign,
     snapshot_campaign,
 )
@@ -75,8 +78,13 @@ def main() -> None:
                                      jobs_per_worker=4.0,
                                      backlog_seconds=30.0,
                                      idle_timeout=1.0)
+            # The result cache lives behind the same broker URL as the
+            # queue: spawned workers get `--cache http://...` and
+            # deduplicate with no shared filesystem at all.
+            cache = open_cache(broker.url)
             executor = DistributedExecutor(transport=broker.url,
                                            autoscale=policy,
+                                           cache=cache,
                                            lease_seconds=10.0,
                                            poll_interval=0.05,
                                            progress=lambda line: print(
@@ -85,13 +93,21 @@ def main() -> None:
             watcher = threading.Thread(target=poll_progress, daemon=True)
             watcher.start()
             start = time.perf_counter()
-            distributed = run_campaign(spec, executor=executor)
+            distributed = run_campaign(spec, executor=executor, cache=cache)
             elapsed = time.perf_counter() - start
             stop.set()
             watcher.join(timeout=2.0)
             assert distributed.ok, distributed.failures
             print(f"fleet drained {len(distributed)} jobs in {elapsed:.1f}s "
                   f"({executor.spawned_total} workers spawned)")
+
+            start = time.perf_counter()
+            warm = run_campaign(spec, cache=cache)
+            print(f"warm re-run over the broker cache: "
+                  f"{warm.cache_hits}/{len(warm)} hits in "
+                  f"{time.perf_counter() - start:.2f}s "
+                  f"(no shared directory, no re-execution)")
+            assert warm.cache_hits == len(warm)
 
     print("re-running serially to verify the transport changed nothing...")
     serial = run_campaign(spec, executor=SerialExecutor())

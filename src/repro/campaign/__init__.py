@@ -18,14 +18,23 @@ such a grid into a first-class object:
 Jobs carry content-derived identities and seeds, execute through pluggable
 executors (serial, thread-pool ``async``, ``multiprocessing``, or a
 distributed worker fleet — see :mod:`repro.campaign.dist`), results are
-content-hash cached on disk so re-running an unchanged grid is
-near-instant, and aggregation yields the table/figure shapes the benchmark
+content-hash cached — in a directory or behind the HTTP broker, via the
+same pluggable transports as the work queue
+(:func:`~repro.campaign.cache.open_cache`) — so re-running an unchanged
+grid is near-instant and broker fleets deduplicate without any shared
+filesystem, and aggregation yields the table/figure shapes the benchmark
 harnesses consume.  Partially drained distributed grids are queryable
 early via :func:`~repro.campaign.dist.incremental.snapshot_campaign`.
 """
 
 from repro.campaign.aggregate import CampaignResult
-from repro.campaign.cache import PHYSICS_VERSION, ResultCache, default_cache_dir
+from repro.campaign.cache import (
+    PHYSICS_VERSION,
+    ResultCache,
+    TransportResultCache,
+    default_cache_dir,
+    open_cache,
+)
 from repro.campaign.dist import (
     AutoscalePolicy,
     CampaignSnapshot,
@@ -76,6 +85,7 @@ __all__ = [
     "SerialExecutor",
     "SpecError",
     "SweepSpec",
+    "TransportResultCache",
     "UnknownCaseError",
     "WorkQueue",
     "snapshot_campaign",
@@ -85,6 +95,7 @@ __all__ = [
     "default_executor",
     "execute_job",
     "get_case",
+    "open_cache",
     "register_case",
     "run_campaign",
     "run_grid",

@@ -10,7 +10,10 @@ that any mix of threads, processes and hosts can participate in:
   MemoryTransport` (in-process, thread fleets) and
   :class:`~repro.campaign.dist.transport.HttpTransport` (S3-style REST
   against the :mod:`repro.campaign.dist.server` broker,
-  ``python -m repro.campaign.dist.server``);
+  ``python -m repro.campaign.dist.server``).  The result cache and the
+  persisted cost model ride the same contract
+  (:func:`~repro.campaign.cache.open_cache`), so broker fleets
+  deduplicate without any shared filesystem;
 * :class:`~repro.campaign.dist.queue.WorkQueue` — durable work queue over
   any transport, with conditional-create claims whose documents double as
   heartbeat-renewed leases, a retry policy and a max-attempt dead-letter

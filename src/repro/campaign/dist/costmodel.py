@@ -35,7 +35,12 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional
 
 from repro.campaign.jobs import JobResult
-from repro.campaign.jsonio import atomic_write_json, read_json_or_none
+from repro.campaign.jsonio import (
+    atomic_write_json,
+    json_dumps_bytes,
+    json_loads_or_none,
+    read_json_or_none,
+)
 from repro.campaign.spec import JobSpec
 
 #: Estimate used when nothing at all is known about a job's case.
@@ -49,19 +54,41 @@ COSTMODEL_FILENAME = "costmodel.json"
 
 
 class CostModel:
-    """Learned wall-time estimates with optional JSON persistence."""
+    """Learned wall-time estimates with optional JSON persistence.
 
-    def __init__(self, path: Optional[os.PathLike] = None):
+    Persistence rides either a plain ``path`` (the original mode) or any
+    :class:`~repro.campaign.dist.transport.QueueTransport` plus a ``key``
+    — so when the result cache lives behind the HTTP broker, its
+    scheduling priors follow it there instead of demanding a shared
+    filesystem.  Over a filesystem transport the stored bytes and
+    location (``<root>/costmodel.json``) are identical to path mode.
+    """
+
+    def __init__(self, path: Optional[os.PathLike] = None,
+                 transport: Optional[Any] = None,
+                 key: str = COSTMODEL_FILENAME):
         self.path = Path(path) if path is not None else None
+        self.transport = transport
+        self.key = key
         self._exact: Dict[str, float] = {}
         self._cases: Dict[str, Dict[str, float]] = {}
-        if self.path is not None:
+        if self.persistent:
             self.load()
 
     @classmethod
     def alongside(cls, cache: Any) -> "CostModel":
-        """The model persisted next to a ``ResultCache``'s entries."""
+        """The model persisted next to a result cache's entries — through
+        the cache's own transport, so broker-hosted caches carry their
+        scheduling priors too."""
+        transport = getattr(cache, "transport", None)
+        if transport is not None:
+            return cls(transport=transport, key=COSTMODEL_FILENAME)
         return cls(Path(cache.root) / COSTMODEL_FILENAME)
+
+    @property
+    def persistent(self) -> bool:
+        """True when :meth:`save` durably persists the model somewhere."""
+        return self.path is not None or self.transport is not None
 
     # -- learning ----------------------------------------------------------
     def observe(self, result: JobResult) -> None:
@@ -117,9 +144,13 @@ class CostModel:
         optimization, so garbage on disk degrades scheduling, never
         correctness.
         """
-        if self.path is None:
+        if self.transport is not None:
+            got = self.transport.get(self.key)
+            payload = json_loads_or_none(got[0]) if got is not None else None
+        elif self.path is not None:
+            payload = read_json_or_none(self.path)
+        else:
             return
-        payload = read_json_or_none(self.path)
         if payload is None:
             return
         exact = payload.get("exact", {})
@@ -145,13 +176,20 @@ class CostModel:
                 and usable(stats.get("count")) and usable(stats.get("mean"))
             }
 
-    def save(self) -> Optional[Path]:
-        """Atomically persist the model (no-op without a path)."""
+    def save(self) -> Optional[os.PathLike]:
+        """Atomically persist the model; a no-op without a store.
+
+        Returns the path (path mode), the storage key (transport mode),
+        or ``None`` when the model is in-memory only.
+        """
+        payload = {"exact": self._exact, "cases": self._cases}
+        if self.transport is not None:
+            self.transport.put(self.key, json_dumps_bytes(payload))
+            return self.key
         if self.path is None:
             return None
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        return atomic_write_json(self.path,
-                                 {"exact": self._exact, "cases": self._cases})
+        return atomic_write_json(self.path, payload)
 
     def __len__(self) -> int:
         return len(self._exact)

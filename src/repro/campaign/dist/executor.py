@@ -54,7 +54,7 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
-from repro.campaign.cache import ResultCache
+from repro.campaign.cache import TransportResultCache, open_cache
 from repro.campaign.dist.costmodel import AutoscalePolicy, CostModel
 from repro.campaign.dist.queue import WorkQueue
 from repro.campaign.dist.transport import (
@@ -147,8 +147,15 @@ class DistributedExecutor:
         fleet instead of spawning a fixed count.
     cache / cache_dir:
         Shared result cache the *workers* probe before and after running —
-        the cross-worker deduplication layer.  Pass the same cache to
-        ``run_campaign`` so the orchestrator also serves hits up front.
+        the cross-worker deduplication layer.  ``cache`` takes a cache
+        object (any :class:`~repro.campaign.cache.TransportResultCache`);
+        ``cache_dir`` takes a directory *or* broker URL and goes through
+        :func:`~repro.campaign.cache.open_cache`, so a fleet without any
+        shared filesystem deduplicates through the broker.  Pass the same
+        cache to ``run_campaign`` so the orchestrator also serves hits up
+        front.  Spawned worker processes inherit the cache by address
+        (``--cache``); an address-less cache (e.g. over a
+        ``MemoryTransport``) is shared with thread fleets directly.
     cost_model:
         Runtime estimator for longest-job-first enqueueing.  Defaults to
         the model persisted alongside ``cache`` (when given), so prior
@@ -176,7 +183,7 @@ class DistributedExecutor:
     def __init__(self,
                  queue_dir: Optional[os.PathLike] = None,
                  workers: int = 2,
-                 cache: Optional[ResultCache] = None,
+                 cache: Optional[TransportResultCache] = None,
                  cache_dir: Optional[os.PathLike] = None,
                  cost_model: Optional[CostModel] = None,
                  lease_seconds: float = 15.0,
@@ -194,7 +201,7 @@ class DistributedExecutor:
         self.workers = workers
         self.autoscale = autoscale
         if cache is None and cache_dir is not None:
-            cache = ResultCache(cache_dir)
+            cache = open_cache(cache_dir)
         self.cache = cache
         self.cost_model = cost_model
         self.lease_seconds = lease_seconds
@@ -218,12 +225,30 @@ class DistributedExecutor:
     def learns_costs(self) -> bool:
         """True when ``map`` itself persists wall times into a durable cost
         model — run_campaign checks this to avoid double-observing the
-        same fresh results.  An explicitly passed *path-less* model takes
+        same fresh results.  An explicitly passed *store-less* model takes
         precedence over the cache-adjacent default and persists nothing,
         so it must not claim the learning."""
         if self.cost_model is not None:
-            return self.cost_model.path is not None
+            return self.cost_model.persistent
         return self.cache is not None
+
+    @property
+    def workers_share_cache(self) -> bool:
+        """True when the fleet ``map`` runs actually reaches ``cache`` —
+        run_campaign checks this before skipping its own cache writes.
+        The inline (``workers=0``) loop and thread fleets hold the cache
+        object itself; spawned worker processes only reach it through
+        ``--cache``, which needs an address.  An address-less cache over
+        an addressable queue (process fleet) is the orchestrator's
+        private cache, not the workers'."""
+        if self.cache is None:
+            return False
+        if self.workers == 0 and self.autoscale is None:
+            return True  # the inline worker loop holds the object
+        if (isinstance(self.transport, QueueTransport)
+                and self.transport.address is None):
+            return True  # thread fleet: workers share the object
+        return self.cache.address is not None
 
     # -- transport resolution ----------------------------------------------
     def _resolve_transport(self):
@@ -261,8 +286,13 @@ class DistributedExecutor:
 
         cost_model = self.cost_model
         if cost_model is None:
-            cost_model = (CostModel.alongside(self.cache)
-                          if self.cache is not None else CostModel())
+            try:
+                cost_model = (CostModel.alongside(self.cache)
+                              if self.cache is not None else CostModel())
+            except (OSError, TransportError):
+                # Priors unreachable (cache broker down): degrade to FIFO
+                # ordering rather than failing the campaign before it ran.
+                cost_model = CostModel()
         queue.enqueue_grid(jobs, cost_model=cost_model)
         fleet = (f"autoscale {self.autoscale!r}" if self.autoscale
                  else f"{self.workers} workers")
@@ -298,9 +328,15 @@ class DistributedExecutor:
                     handle.kill()
 
         results = self._collect(queue, jobs)
-        cost_model.observe_many(result for result in results
-                                if not result.cached)
-        cost_model.save()
+        try:
+            cost_model.observe_many(result for result in results
+                                    if not result.cached)
+            cost_model.save()
+        except (OSError, TransportError):
+            # Best-effort, mirroring runner._learn_costs: a cache broker
+            # dying *after* the grid drained must not fail a campaign
+            # whose results are already in hand.
+            pass
         if temp_dir is not None:
             shutil.rmtree(temp_dir, ignore_errors=True)
         return results
@@ -328,8 +364,12 @@ class DistributedExecutor:
                "--worker-id", f"w{index}-{os.getpid()}"]
         if self.autoscale is not None:
             cmd += ["--idle-timeout", str(self.autoscale.idle_timeout)]
-        if self.cache is not None:
-            cmd += ["--cache", str(self.cache.root)]
+        if self.cache is not None and self.cache.address is not None:
+            # By address, like the queue: a directory for filesystem
+            # caches, a broker URL for transport caches.  An address-less
+            # cache (in-process transport) cannot be reached from a
+            # spawned process and is simply not passed along.
+            cmd += ["--cache", str(self.cache.address)]
         if index < len(self.worker_extra_args):
             cmd += [str(arg) for arg in self.worker_extra_args[index]]
         return cmd

@@ -1,9 +1,12 @@
 """Pluggable queue transports: one storage contract, many backends.
 
 The distributed work queue (:class:`~repro.campaign.dist.queue.WorkQueue`)
-is a state machine over *opaque keys* holding small JSON documents.  This
-module defines the storage contract it runs on — five operations, modelled
-on an S3-style object store — and three implementations:
+is a state machine over *opaque keys* holding small JSON documents, and
+the result cache (:class:`~repro.campaign.cache.TransportResultCache`) and
+persisted cost model ride the same seam — one storage contract carries a
+whole campaign's durable state.  This module defines that contract — five
+operations, modelled on an S3-style object store — and three
+implementations:
 
 * :class:`FsTransport` — keys are files under a root directory (the
   original shared-filesystem queue; any number of processes/hosts sharing
@@ -70,9 +73,16 @@ class TransportError(Exception):
     """A transport could not reach its backing store.
 
     Raised after retries are exhausted (connection refused, broker down,
-    unwritable directory).  Workers surface this as a clean exit code
-    instead of a traceback — see :mod:`repro.campaign.dist.worker`.
+    unwritable directory).  ``address`` names the failing store when the
+    raising transport knows it, so a worker holding two transports (queue
+    and cache) can blame the right one exactly.  Workers surface this as
+    a clean exit code instead of a traceback — see
+    :mod:`repro.campaign.dist.worker`.
     """
+
+    def __init__(self, message: str, address: Optional[str] = None):
+        super().__init__(message)
+        self.address = address
 
 
 def etag_of(data: bytes) -> str:
@@ -213,10 +223,12 @@ class FsTransport(QueueTransport):
         try:
             self.root.mkdir(parents=True, exist_ok=True)
         except OSError as exc:
-            # Unwritable/invalid queue locations surface through the same
-            # clean error path as an unreachable broker (worker exit 3).
+            # Unwritable/invalid store locations (queue or cache dirs)
+            # surface through the same clean error path as an unreachable
+            # broker (worker exit 3).
             raise TransportError(
-                f"cannot create queue directory {self.root}: {exc}") from exc
+                f"cannot create directory {self.root}: {exc}",
+                address=str(self.root)) from exc
         self.address = str(self.root)
 
     def _path(self, key: str) -> Path:
@@ -232,7 +244,8 @@ class FsTransport(QueueTransport):
             path.parent.mkdir(parents=True, exist_ok=True)
             atomic_write_bytes(path, data)
         except OSError as exc:
-            raise TransportError(f"cannot write {path}: {exc}") from exc
+            raise TransportError(f"cannot write {path}: {exc}",
+                                 address=self.address) from exc
         return etag_of(data)
 
     def cas(self, key: str, data: bytes,
@@ -247,14 +260,18 @@ class FsTransport(QueueTransport):
                 return None
             atomic_write_bytes(path, data)
         except OSError as exc:
-            raise TransportError(f"cannot write {path}: {exc}") from exc
+            raise TransportError(f"cannot write {path}: {exc}",
+                                 address=self.address) from exc
         return etag_of(data)
 
     def _create_exclusive(self, path: Path, data: bytes) -> Optional[str]:
         # Stage the full content, then hard-link into place: creation is
         # both exclusive and atomic in content, so a concurrent reader can
-        # never observe a partially written key.
-        tmp = path.parent / f".{path.name}.create.{os.getpid()}"
+        # never observe a partially written key.  The staging name carries
+        # pid *and* thread id — two threads of one process racing the same
+        # key (a thread-fleet cache put) must not share a staging file.
+        tmp = path.parent / (f".{path.name}.create.{os.getpid()}"
+                             f".{threading.get_ident()}")
         try:
             with open(tmp, "wb") as handle:
                 handle.write(data)
@@ -275,7 +292,8 @@ class FsTransport(QueueTransport):
         except FileExistsError:
             return None
         except OSError as exc:
-            raise TransportError(f"cannot create {path}: {exc}") from exc
+            raise TransportError(f"cannot create {path}: {exc}",
+                                 address=self.address) from exc
         with os.fdopen(fd, "wb") as handle:
             handle.write(data)
         return etag_of(data)
@@ -293,19 +311,26 @@ class FsTransport(QueueTransport):
             return False
 
     def list(self, prefix: str) -> List[str]:
-        # Prefixes are directory-shaped in practice ("pending/"); support
-        # partial-name prefixes too by listing the parent directory.
+        # A true recursive prefix scan, like the in-memory and broker
+        # stores: queue listings are directory-shaped ("pending/") and see
+        # one level, while cache listings (prefix "") see the two-level
+        # entry fan-out.  Hidden names are staging files (atomic_write /
+        # _create_exclusive temps), never keys.
         directory, _, stem = prefix.rpartition("/")
         base = self.root / directory if directory else self.root
-        try:
-            names = os.listdir(base)
-        except OSError:
-            return []
         head = f"{directory}/" if directory else ""
-        return sorted(head + name for name in names
-                      if name.startswith(stem)
-                      and not name.startswith(".")
-                      and (base / name).is_file())
+        keys: List[str] = []
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = [d for d in dirnames if not d.startswith(".")]
+            rel = os.path.relpath(dirpath, base)
+            rel_head = "" if rel == "." else rel.replace(os.sep, "/") + "/"
+            for name in filenames:
+                if name.startswith("."):
+                    continue
+                key = head + rel_head + name
+                if key.startswith(prefix):
+                    keys.append(key)
+        return sorted(keys)
 
     def __repr__(self) -> str:
         return f"FsTransport({str(self.root)!r})"
@@ -372,7 +397,8 @@ class HttpTransport(QueueTransport):
                     time.sleep(self.retry_delay * (2 ** attempt))
         raise TransportError(
             f"broker unreachable at {self.base_url} after "
-            f"{self.retries + 1} attempts: {last_error}")
+            f"{self.retries + 1} attempts: {last_error}",
+            address=self.base_url)
 
     # -- the contract ------------------------------------------------------
     def get(self, key: str) -> Optional[Tuple[bytes, str]]:
@@ -380,13 +406,15 @@ class HttpTransport(QueueTransport):
         if status == 404:
             return None
         if status != 200:
-            raise TransportError(f"GET {key}: unexpected status {status}")
+            raise TransportError(f"GET {key}: unexpected status {status}",
+                                 address=self.base_url)
         return body, etag
 
     def put(self, key: str, data: bytes) -> str:
         status, _, etag = self._request("PUT", self._url(key), data=data)
         if status not in (200, 201):
-            raise TransportError(f"PUT {key}: unexpected status {status}")
+            raise TransportError(f"PUT {key}: unexpected status {status}",
+                                 address=self.base_url)
         return etag
 
     def cas(self, key: str, data: bytes,
@@ -398,7 +426,8 @@ class HttpTransport(QueueTransport):
         if status == 412:
             return None
         if status not in (200, 201):
-            raise TransportError(f"PUT {key}: unexpected status {status}")
+            raise TransportError(f"PUT {key}: unexpected status {status}",
+                                 address=self.base_url)
         return etag
 
     def delete(self, key: str, if_match: Optional[str] = None) -> bool:
@@ -408,7 +437,8 @@ class HttpTransport(QueueTransport):
         if status in (404, 412):
             return False
         if status not in (200, 204):
-            raise TransportError(f"DELETE {key}: unexpected status {status}")
+            raise TransportError(f"DELETE {key}: unexpected status {status}",
+                                 address=self.base_url)
         return True
 
     def list(self, prefix: str) -> List[str]:
@@ -416,7 +446,8 @@ class HttpTransport(QueueTransport):
                f"{urllib.parse.urlencode({'prefix': prefix})}")
         status, body, _ = self._request("GET", url)
         if status != 200:
-            raise TransportError(f"LIST {prefix}: unexpected status {status}")
+            raise TransportError(f"LIST {prefix}: unexpected status {status}",
+                                 address=self.base_url)
         from repro.campaign.jsonio import json_loads_or_none
 
         payload = json_loads_or_none(body) or {}

@@ -2,17 +2,19 @@
 
 Runnable as a module::
 
-    python -m repro.campaign.dist.worker --queue DIR_OR_URL [--cache DIR] \
-        [--worker-id ID] [--exit-when-drained] [--max-jobs N] \
-        [--idle-timeout SECONDS]
+    python -m repro.campaign.dist.worker --queue DIR_OR_URL \
+        [--cache DIR_OR_URL] [--worker-id ID] [--exit-when-drained] \
+        [--max-jobs N] [--idle-timeout SECONDS]
 
-``--queue`` accepts a queue *directory* (shared-filesystem transport) or
-an ``http://host:port`` broker URL (see
+``--queue`` and ``--cache`` each accept a *directory* (shared-filesystem
+transport) or an ``http://host:port`` broker URL (see
 :mod:`repro.campaign.dist.server`); any number of workers may point at the
-same queue (and, via a shared filesystem, the same cache).  Each loop
-iteration scavenges expired leases, claims the highest-priority ticket,
-probes the shared :class:`~repro.campaign.cache.ResultCache` *before*
-running (another worker may have computed the job already — results are
+same queue and cache — a fleet sharing nothing but a broker URL
+(``--queue http://b:8123 --cache http://b:8123``) deduplicates exactly
+like one sharing a filesystem.  Each loop iteration scavenges expired
+leases, claims the highest-priority ticket, probes the shared result
+cache (:func:`~repro.campaign.cache.open_cache`) *before* running
+(another worker may have computed the job already — results are
 content-derived, so serving the cached record is exact), executes via
 :func:`~repro.campaign.jobs.execute_job` while a daemon thread heartbeats
 the lease, stores the fresh result back into the cache, and settles the
@@ -22,8 +24,8 @@ the job could not be run at all — consume a retry attempt.
 
 Exit codes (documented in ``docs/distributed.md``): **0** — clean exit
 (drained, idle timeout, or job budget reached); **2** — bad command line
-(argparse); **3** — the queue transport is unreachable (broker down,
-unwritable queue directory), reported as a one-line message rather than a
+(argparse); **3** — the queue or cache transport is unreachable (broker
+down, unwritable directory), reported as a one-line message rather than a
 traceback.
 
 Workers with custom (non-built-in) cases set ``REPRO_CASE_PROVIDERS`` to a
@@ -41,7 +43,7 @@ import threading
 import time
 from typing import Optional
 
-from repro.campaign.cache import ResultCache
+from repro.campaign.cache import TransportResultCache, open_cache
 from repro.campaign.dist.queue import WorkItem, WorkQueue
 from repro.campaign.dist.transport import TransportError, transport_from_address
 from repro.campaign.jobs import (
@@ -117,7 +119,7 @@ class Worker:
     """
 
     def __init__(self, queue: WorkQueue,
-                 cache: Optional[ResultCache] = None,
+                 cache: Optional[TransportResultCache] = None,
                  worker_id: Optional[str] = None,
                  poll_interval: float = 0.2,
                  idle_timeout: Optional[float] = None,
@@ -259,18 +261,19 @@ def main(argv: Optional[list] = None) -> int:
             "                         decorators in my/cases.py)\n"
             "\n"
             "caveats:\n"
-            "  The shared ResultCache's hits/misses counters are "
-            "per-process: each worker\n"
-            "  counts only its own probes.  For per-campaign accounting "
-            "read\n"
-            "  CampaignResult.meta['cache'] on the orchestrator side "
-            "(docs/distributed.md).\n"
+            "  The result cache's hits/misses counters are per-process: "
+            "each worker\n"
+            "  counts only the probes it made itself, whichever transport "
+            "backs the\n"
+            "  cache.  For per-campaign accounting read "
+            "CampaignResult.meta['cache']\n"
+            "  on the orchestrator side (docs/distributed.md).\n"
             "\n"
             "exit codes:\n"
             "  0  clean exit (queue drained, idle timeout, or --max-jobs "
             "reached)\n"
             "  2  bad command line\n"
-            "  3  queue transport unreachable (broker down / queue "
+            "  3  queue or cache transport unreachable (broker down / "
             "directory unwritable)\n"))
     parser.add_argument("--queue", required=True,
                         help="work-queue directory or broker URL "
@@ -278,8 +281,11 @@ def main(argv: Optional[list] = None) -> int:
                              "orchestrator / DistributedExecutor / "
                              "python -m repro.campaign.dist.server")
     parser.add_argument("--cache", default=None,
-                        help="shared ResultCache directory for cross-worker "
-                             "deduplication")
+                        help="shared result cache for cross-worker "
+                             "deduplication: a directory or a broker URL "
+                             "(http://host:port) — fleets without any "
+                             "shared filesystem deduplicate through the "
+                             "broker")
     parser.add_argument("--worker-id", default=None,
                         help="stable identity recorded in leases/results "
                              "(default: <hostname>-<pid>)")
@@ -305,11 +311,12 @@ def main(argv: Optional[list] = None) -> int:
 
     log = (lambda _line: None) if args.quiet else (
         lambda line: print(line, flush=True))
+    queue = cache = None
     try:
-        transport = transport_from_address(args.queue,
-                                           retries=args.transport_retries)
-        queue = WorkQueue(transport=transport)
-        cache = ResultCache(args.cache) if args.cache else None
+        queue = WorkQueue(transport=transport_from_address(
+            args.queue, retries=args.transport_retries))
+        cache = (open_cache(args.cache, retries=args.transport_retries)
+                 if args.cache else None)
         worker = Worker(queue, cache=cache, worker_id=args.worker_id,
                         poll_interval=args.poll_interval,
                         idle_timeout=args.idle_timeout,
@@ -319,7 +326,20 @@ def main(argv: Optional[list] = None) -> int:
                         log=log)
         processed = worker.run()
     except TransportError as exc:
-        print(f"worker: cannot reach queue {args.queue!r}: {exc}",
+        # One clean line blaming the store that actually failed.  The
+        # exception carries the failing transport's own address, compared
+        # *exactly* against the constructed transports' addresses (never
+        # substring-matched — nested paths would misblame).  The queue is
+        # the default: it is built first, so with the queue up the only
+        # other store a TransportError can name is the cache — whether
+        # the cache was still being opened or already serving probes.
+        where = f"queue {args.queue!r}"
+        failed = getattr(exc, "address", None)
+        if (args.cache and queue is not None
+                and failed is not None and failed != queue.address
+                and (cache is None or failed == cache.address)):
+            where = f"cache {args.cache!r}"
+        print(f"worker: cannot reach {where}: {exc}",
               file=sys.stderr, flush=True)
         return EXIT_TRANSPORT_ERROR
     log(f"{worker.worker_id}: exiting after {processed} jobs "

@@ -10,13 +10,15 @@ crash can leave stray bytes; it must never wedge the system).
 Two layers live here:
 
 * file helpers (:func:`atomic_write_json` / :func:`read_json_or_none` and
-  their ``bytes`` twins) used by the cache, the cost model and the
-  filesystem queue transport;
+  their ``bytes`` twins) used by the filesystem transport and path-mode
+  cost models;
 * byte-level codecs (:func:`json_dumps_bytes` / :func:`json_loads_or_none`)
   shared by every :class:`~repro.campaign.dist.transport.QueueTransport`
-  implementation and the HTTP broker, so all transports agree on one
-  canonical encoding (sorted keys, UTF-8) — which keeps content-derived
-  ETags identical no matter which transport produced a record.
+  implementation, the HTTP broker, the result cache and the cost model,
+  so all transports agree on one canonical encoding (sorted keys, UTF-8)
+  — which keeps content-derived ETags identical no matter which transport
+  produced a record, and lets two workers racing the same cache key
+  produce byte-identical payloads their conditional create converges on.
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
+from threading import get_ident
 from typing import Any, Dict, Optional
 
 
@@ -65,11 +68,12 @@ def json_loads_or_none(data: Optional[bytes]) -> Optional[Dict[str, Any]]:
 def atomic_write_bytes(path: Path, data: bytes) -> Path:
     """Write ``data`` to ``path`` atomically; returns ``path``.
 
-    The temp name carries the pid so concurrent writers on a shared
-    filesystem never collide on the staging file.
+    The temp name carries the pid *and* thread id so concurrent writers —
+    processes on a shared filesystem, threads of one fleet — never
+    collide on the staging file.
     """
     path = Path(path)
-    tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
+    tmp = path.parent / f".{path.name}.tmp.{os.getpid()}.{get_ident()}"
     with open(tmp, "wb") as handle:
         handle.write(data)
     os.replace(tmp, path)

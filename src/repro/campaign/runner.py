@@ -14,7 +14,7 @@ import time
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.campaign.aggregate import CampaignResult
-from repro.campaign.cache import ResultCache
+from repro.campaign.cache import TransportResultCache, open_cache
 from repro.campaign.executors import SerialExecutor
 from repro.campaign.jobs import (
     JobResult,
@@ -26,7 +26,7 @@ from repro.campaign.spec import JobSpec, SweepSpec
 
 def run_campaign(spec: SweepSpec,
                  executor: Optional[Any] = None,
-                 cache: Optional[ResultCache] = None,
+                 cache: Optional[TransportResultCache] = None,
                  cache_dir: Optional[str] = None,
                  progress: Optional[Callable[[str], None]] = None) -> CampaignResult:
     """Run (or re-serve) every job of ``spec`` and aggregate the results.
@@ -39,16 +39,19 @@ def run_campaign(spec: SweepSpec,
         :class:`~repro.campaign.executors.MultiprocessingExecutor` to fan
         out across cores.
     cache / cache_dir:
-        Results are read from and written to a
-        :class:`~repro.campaign.cache.ResultCache`.  ``cache`` wins over
-        ``cache_dir``; pass neither to run uncached (e.g. in determinism
-        tests), and note failed jobs are never cached.
+        Results are read from and written to a result cache.  ``cache``
+        takes a cache object (any :class:`~repro.campaign.cache.
+        TransportResultCache`) and wins over ``cache_dir``, which takes a
+        directory *or* broker URL via
+        :func:`~repro.campaign.cache.open_cache`.  Pass neither to run
+        uncached (e.g. in determinism tests), and note failed jobs are
+        never cached.
     progress:
         Optional callable receiving human-readable status lines.
     """
     executor = executor or SerialExecutor()
     if cache is None and cache_dir is not None:
-        cache = ResultCache(cache_dir)
+        cache = open_cache(cache_dir)
 
     say = progress or (lambda _line: None)
     start = time.perf_counter()
@@ -60,8 +63,12 @@ def run_campaign(spec: SweepSpec,
     pending: List[JobSpec] = []
     pending_slots: List[int] = []
     hits = 0
-    for slot, job in enumerate(jobs):
-        record = cache.get(job) if cache is not None else None
+    # One batched probe (shard listings + fetches of present keys), not a
+    # blocking round trip per job: over a broker-backed cache a cold grid
+    # costs O(shards) requests instead of O(jobs).
+    records = (cache.get_many(jobs) if cache is not None
+               else [None] * len(jobs))
+    for slot, (job, record) in enumerate(zip(jobs, records)):
         served = result_from_record_or_none(record, cached=True)
         if served is not None:
             results[slot] = served
@@ -81,12 +88,20 @@ def run_campaign(spec: SweepSpec,
                 f"result per job, in order")
         # Executors whose workers already write this same cache store
         # (distributed fleets) persisted every fresh result themselves;
-        # re-putting identical records here would just burn filesystem
-        # writes.  Cache-served results (cached=True) never need a put.
+        # re-putting identical records here would just burn writes.  The
+        # executor must *also* confirm its fleet actually reached the
+        # cache — a process fleet given an address-less cache never did,
+        # and the orchestrator's put here is then the only persistence.
+        # Cache-served results (cached=True) never need a put.
         executor_cache = getattr(executor, "cache", None)
+        executor_address = getattr(executor_cache, "address", None)
         workers_own_cache = (cache is not None and executor_cache is not None
-                             and getattr(executor_cache, "root", None)
-                             == cache.root)
+                             and (executor_cache is cache
+                                  or (executor_address is not None
+                                      and executor_address
+                                      == getattr(cache, "address", None)))
+                             and getattr(executor, "workers_share_cache",
+                                         True))
         for slot, job, result in zip(pending_slots, pending, fresh):
             results[slot] = result
             if (cache is not None and result.ok
@@ -119,18 +134,19 @@ def run_campaign(spec: SweepSpec,
     return campaign
 
 
-def _learn_costs(cache: ResultCache, fresh: List[JobResult]) -> None:
+def _learn_costs(cache: TransportResultCache, fresh: List[JobResult]) -> None:
     """Fold freshly measured wall times into the cost model stored beside
-    the cache, so later (especially distributed) campaigns schedule
-    longest-job-first from real measurements.  Best-effort: scheduling is
-    an optimization, never worth failing a campaign over."""
-    try:
-        from repro.campaign.dist.costmodel import CostModel
+    the cache — through the cache's own transport, so broker-hosted caches
+    carry their scheduling priors too.  Best-effort: scheduling is an
+    optimization, never worth failing a campaign over."""
+    from repro.campaign.dist.costmodel import CostModel
+    from repro.campaign.dist.transport import TransportError
 
+    try:
         model = CostModel.alongside(cache)
         model.observe_many(fresh)
         model.save()
-    except OSError:  # pragma: no cover - read-only cache dir etc.
+    except (OSError, TransportError):  # pragma: no cover - store went away
         pass
 
 

@@ -1,11 +1,35 @@
-"""Unit tests for the content-hash result cache."""
+"""Unit and crash-consistency tests for the content-hash result cache.
+
+Since the cache rides the queue's transport seam, the whole suite runs
+three times — over the filesystem, in-memory and HTTP-broker transports —
+the same way the queue suites do: broker-wide deduplication is only real
+if a cache behind ``http://`` honors the identical contract as a cache
+directory.  Corruption is injected through the transport
+(``transport.put`` of garbage bytes), which reaches all three backends
+identically; filesystem-specific behavior (path layout, tilde expansion,
+leftover temp files) keeps its own tests at the bottom.
+"""
 
 import json
+import threading
 
 import pytest
 
-from repro.campaign import ResultCache, SweepSpec, run_campaign
+from repro.campaign import (
+    MemoryTransport,
+    ResultCache,
+    SweepSpec,
+    TransportResultCache,
+    open_cache,
+    run_campaign,
+)
+from repro.campaign import WorkQueue
+from repro.campaign.dist.server import Broker
+from repro.campaign.dist.transport import HttpTransport, TransportError
 from repro.campaign.executors import SerialExecutor
+from repro.campaign.jsonio import json_dumps_bytes
+
+TRANSPORTS = ("fs", "memory", "http")
 
 
 def _spec(**overrides):
@@ -20,92 +44,121 @@ def _job(spec=None):
     return (spec or _spec()).expand()[0]
 
 
-def test_put_get_round_trip(tmp_path):
-    cache = ResultCache(tmp_path)
+def _record(job, wall_time=0.25, **metrics):
+    return {"result": {"job_id": job.job_id, "case": job.case,
+                       "params": dict(job.params), "seed": job.seed,
+                       "metrics": dict(metrics) or {"makespan": 1.5},
+                       "wall_time": wall_time, "error": None}}
+
+
+@pytest.fixture(params=TRANSPORTS)
+def cache(request, tmp_path):
+    if request.param == "fs":
+        yield ResultCache(tmp_path / "cache")
+    elif request.param == "memory":
+        yield TransportResultCache(MemoryTransport())
+    else:
+        broker = Broker().start()
+        try:
+            yield TransportResultCache(
+                HttpTransport(broker.url, retries=2, retry_delay=0.05))
+        finally:
+            broker.stop()
+
+
+# -- the cache contract, transport-independent -------------------------------
+
+def test_put_get_round_trip(cache):
     job = _job()
     assert cache.get(job) is None
-    cache.put(job, {"result": {"job_id": job.job_id, "case": job.case,
-                               "params": dict(job.params), "seed": job.seed,
-                               "metrics": {"makespan": 1.5}}})
+    cache.put(job, _record(job, makespan=1.5))
     record = cache.get(job)
     assert record is not None
     assert record["result"]["metrics"] == {"makespan": 1.5}
     assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
 
 
-def test_key_depends_on_params_seed_and_physics(tmp_path):
-    cache = ResultCache(tmp_path)
+def test_key_depends_on_params_seed_and_physics(cache):
     jobs = _spec().expand()
     assert cache.key(jobs[0]) != cache.key(jobs[1])
     reseeded = _spec(seed=321).expand()[0]
     assert cache.key(jobs[0]) != cache.key(reseeded)
-    new_physics = ResultCache(tmp_path, physics_version="next")
+    new_physics = TransportResultCache(cache.transport,
+                                       physics_version="next")
     assert cache.key(jobs[0]) != new_physics.key(jobs[0])
 
 
-def test_corrupt_entry_is_a_miss(tmp_path):
-    cache = ResultCache(tmp_path)
+def test_corrupt_entry_is_a_miss(cache):
     job = _job()
-    path = cache.put(job, {"result": {"job_id": job.job_id, "case": job.case,
-                                      "params": dict(job.params),
-                                      "seed": job.seed, "metrics": {}}})
-    path.write_text("{ not json", encoding="utf-8")
+    cache.put(job, _record(job))
+    cache.transport.put(cache.storage_key(job), b"{ not json")
     assert cache.get(job) is None
     assert cache.misses >= 1
 
 
-def test_truncated_and_empty_entries_are_misses_then_recoverable(tmp_path):
-    """Crash consistency: a partially written or zero-length record must be
-    treated as a miss — and a subsequent put() repairs the entry."""
-    cache = ResultCache(tmp_path)
+def test_torn_and_empty_entries_are_misses_then_healed(cache):
+    """Crash consistency: a partially written or zero-length record must
+    be treated as a miss — and a subsequent put() repairs the entry, even
+    though creation is normally a conditional create (the torn key exists,
+    so the CAS conflicts; healing must overwrite anyway)."""
     job = _job()
-    record = {"result": {"job_id": job.job_id, "case": job.case,
-                         "params": dict(job.params), "seed": job.seed,
-                         "metrics": {"makespan": 2.5}}}
-    path = cache.put(job, record)
+    record = _record(job, makespan=2.5)
+    key = cache.storage_key(job)
+    full = json_dumps_bytes({**record, "job": job.to_record(),
+                             "physics": cache.physics_version})
 
-    full = path.read_text(encoding="utf-8")
-    path.write_text(full[: len(full) // 2], encoding="utf-8")  # torn write
+    cache.transport.put(key, full[: len(full) // 2])  # torn write
     assert cache.get(job) is None
-    path.write_text("", encoding="utf-8")  # zero-length file
+    cache.transport.put(key, b"")  # zero-length record
     assert cache.get(job) is None
 
     cache.put(job, record)
     assert cache.get(job)["result"]["metrics"] == {"makespan": 2.5}
 
 
-def test_leftover_tmp_files_are_invisible(tmp_path):
-    """A crash between tmp-write and rename leaves a *.tmp.<pid> file that
-    neither counts as an entry nor breaks probes of the real key."""
-    cache = ResultCache(tmp_path)
-    job = _job()
-    tmp = cache.path(job).with_suffix(".tmp.12345")
-    tmp.parent.mkdir(parents=True, exist_ok=True)
-    tmp.write_text('{"result": {"half": true', encoding="utf-8")
-    assert cache.get(job) is None
-    assert len(cache) == 0
-    cache.put(job, {"result": {"job_id": job.job_id, "case": job.case,
-                               "params": dict(job.params), "seed": job.seed,
-                               "metrics": {}}})
-    assert len(cache) == 1
-    assert cache.get(job) is not None
-
-
-def test_mismatched_entry_is_a_miss(tmp_path):
+def test_mismatched_entry_is_a_miss(cache):
     """A record whose stored job differs from the probe is rejected."""
-    cache = ResultCache(tmp_path)
     job = _job()
-    path = cache.put(job, {"result": {"job_id": job.job_id, "case": job.case,
-                                      "params": dict(job.params),
-                                      "seed": job.seed, "metrics": {}}})
-    record = json.loads(path.read_text(encoding="utf-8"))
-    record["job"]["params"] = {"tampered": True}
-    path.write_text(json.dumps(record), encoding="utf-8")
+    cache.put(job, _record(job))
+    key = cache.storage_key(job)
+    stored = json.loads(cache.transport.get(key)[0].decode("utf-8"))
+    stored["job"]["params"] = {"tampered": True}
+    cache.transport.put(key, json.dumps(stored).encode("utf-8"))
     assert cache.get(job) is None
 
 
-def test_second_campaign_run_served_entirely_from_cache(tmp_path):
-    cache = ResultCache(tmp_path)
+def test_two_writers_race_one_record(cache):
+    """The CAS case behind broker-wide dedup: two workers that both
+    executed the same job race their put() — the conditional create lets
+    exactly one record land, and the loser adopts it instead of
+    clobbering (stored bytes stay the winner's)."""
+    job = _job()
+    first = _record(job, wall_time=0.125, makespan=3.0)
+    second = _record(job, wall_time=9.0, makespan=3.0)  # same content job
+    cache.put(job, first)
+    winner_bytes = cache.transport.get(cache.storage_key(job))[0]
+    cache.put(job, second)  # the racing loser
+    assert cache.transport.get(cache.storage_key(job))[0] == winner_bytes
+    assert len(cache) == 1
+    assert cache.get(job)["result"]["wall_time"] == 0.125
+
+
+def test_concurrent_writers_converge_to_one_record(cache):
+    """N threads putting the same key through the live transport: exactly
+    one stored record, no torn state, every subsequent probe a hit."""
+    job = _job()
+    threads = [threading.Thread(
+        target=cache.put, args=(job, _record(job, wall_time=0.1 * (i + 1))))
+        for i in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30.0)
+    assert len(cache) == 1
+    assert cache.get(job)["result"]["metrics"] == {"makespan": 1.5}
+
+
+def test_second_campaign_run_served_entirely_from_cache(cache):
     spec = _spec()
     first = run_campaign(spec, executor=SerialExecutor(), cache=cache)
     assert (first.cache_hits, first.cache_misses) == (0, 4)
@@ -115,8 +168,7 @@ def test_second_campaign_run_served_entirely_from_cache(tmp_path):
     assert second.aggregate_fingerprint() == first.aggregate_fingerprint()
 
 
-def test_changed_grid_point_recomputes_only_that_job(tmp_path):
-    cache = ResultCache(tmp_path)
+def test_changed_grid_point_recomputes_only_that_job(cache):
     run_campaign(_spec(), cache=cache)
     widened = _spec(grid={"workers": [1, 2], "tasks": [4, 8, 16]})
     result = run_campaign(widened, cache=cache)
@@ -124,8 +176,161 @@ def test_changed_grid_point_recomputes_only_that_job(tmp_path):
     assert result.cache_misses == 2
 
 
+def test_schema_stale_cache_record_is_recomputed_not_fatal(cache):
+    """A record whose job spec matches but whose result payload misses
+    required fields (older/newer schema) must be treated as a miss."""
+    job = _job()
+    cache.put(job, {"result": {"job_id": job.job_id}})  # no case/params/seed
+    result = run_campaign(_spec(), cache=cache)
+    assert result.ok
+    assert result.cache_hits == 0  # the stale record did not serve (or crash)
+
+
+def test_schema_stale_record_is_healed_by_the_next_put(cache):
+    """A record whose job matches but whose result payload is unservable
+    (older schema) must not be *adopted* by put()'s CAS-conflict path —
+    pre-transport caches healed it by overwrite, and so must we, or the
+    key re-executes on every campaign forever."""
+    job = _job()
+    cache.put(job, {"result": {"job_id": job.job_id}})  # unservable result
+    run_campaign(_spec(), cache=cache)  # miss → re-execute → healing put
+    second = run_campaign(_spec(), cache=cache)
+    assert (second.cache_hits, second.cache_misses) == (4, 0)
+
+
+def test_clear_and_len_touch_only_entries(cache):
+    run_campaign(_spec(), cache=cache)
+    # The keyspace may be shared (cost model beside the entries, a queue
+    # on the same broker): bookkeeping must not count or delete those.
+    cache.transport.put("costmodel.json", b'{"exact": {}}')
+    cache.transport.put("queue.json", b'{"lease_seconds": 30.0}')
+    assert len(cache) == 4
+    assert cache.clear() == 4
+    assert len(cache) == 0
+    assert cache.transport.get("costmodel.json") is not None
+
+
+def test_get_many_probes_in_batches_not_per_job():
+    """The campaign probe loop must not pay one round trip per job: cold
+    keys are established absent from shard listings alone, and only
+    present keys are fetched."""
+    class CountingTransport(MemoryTransport):
+        def __init__(self):
+            super().__init__()
+            self.gets = 0
+            self.lists = 0
+
+        def get(self, key):
+            self.gets += 1
+            return super().get(key)
+
+        def list(self, prefix):
+            self.lists += 1
+            return super().list(prefix)
+
+    transport = CountingTransport()
+    cache = TransportResultCache(transport)
+    jobs = _spec().expand()
+
+    cold = cache.get_many(jobs)
+    assert cold == [None] * len(jobs)
+    assert transport.gets == 0           # absent keys: no per-key reads
+    assert transport.lists <= len(jobs)  # one listing per distinct shard
+    assert cache.misses == len(jobs)
+
+    for job in jobs:
+        cache.put(job, _record(job))
+    transport.gets = transport.lists = 0
+    warm = cache.get_many(jobs)
+    assert all(record is not None for record in warm)
+    assert transport.gets == len(jobs)   # fetched exactly the present keys
+    assert cache.hits == len(jobs)
+
+
+# -- the open_cache factory ---------------------------------------------------
+
+def test_open_cache_dispatch(tmp_path):
+    fs = open_cache(tmp_path / "cache-dir")
+    assert isinstance(fs, ResultCache)
+    assert fs.root == tmp_path / "cache-dir"
+    assert fs.address == str(tmp_path / "cache-dir")
+
+    http = open_cache("http://example.invalid:9")
+    assert isinstance(http, TransportResultCache)
+    assert isinstance(http.transport, HttpTransport)
+    assert http.address == "http://example.invalid:9"
+    assert http.root is None
+
+    shared = MemoryTransport()
+    wrapped = open_cache(shared)
+    assert isinstance(wrapped, TransportResultCache)
+    assert wrapped.transport is shared
+    assert wrapped.address is None
+
+    assert open_cache(wrapped) is wrapped  # existing caches pass through
+
+
+def test_open_cache_serves_hits_across_transport_views(tmp_path):
+    """One store, two views: entries written through a plain directory
+    cache are served through a broker whose --data-dir is that directory —
+    the layout is the transport seam's shared contract."""
+    root = tmp_path / "cache"
+    direct = open_cache(root)
+    job = _job()
+    direct.put(job, _record(job, makespan=4.0))
+    with Broker(data_dir=root) as broker:
+        via_broker = open_cache(broker.url)
+        record = via_broker.get(job)
+        assert record is not None
+        assert record["result"]["metrics"] == {"makespan": 4.0}
+        assert len(via_broker) == 1
+
+
+def test_unreachable_broker_cache_raises_transport_error():
+    cache = open_cache("http://127.0.0.1:1", retries=1, retry_delay=0.01)
+    with pytest.raises(TransportError, match="unreachable"):
+        cache.get(_job())
+
+
+def test_worker_cli_exits_cleanly_on_unreachable_cache_broker(tmp_path,
+                                                             capsys):
+    """--cache follows --queue's exit-code contract: a dead cache broker
+    is exit 3 plus a one-line message, never a traceback."""
+    from repro.campaign.dist import worker as worker_cli
+
+    # The cache is only probed once a job is claimed: enqueue one so the
+    # worker actually reaches for the dead broker.
+    WorkQueue(tmp_path / "q").enqueue(_job())
+    code = worker_cli.main(["--queue", str(tmp_path / "q"),
+                            "--cache", "http://127.0.0.1:1",
+                            "--transport-retries", "0", "--quiet",
+                            "--exit-when-drained"])
+    assert code == worker_cli.EXIT_TRANSPORT_ERROR == 3
+    err = capsys.readouterr().err
+    assert "cache 'http://127.0.0.1:1'" in err
+    assert "Traceback" not in err
+
+
+def test_worker_cli_blames_queue_not_prefix_cache(tmp_path, capsys):
+    """Exact address attribution: when the *queue* fails and the cache's
+    path happens to be a prefix of the queue's, the message must still
+    blame the queue — substring matching would send the operator
+    debugging the healthy store."""
+    from repro.campaign.dist import worker as worker_cli
+
+    blocker = tmp_path / "blocker"
+    blocker.write_text("file, not directory", encoding="utf-8")
+    code = worker_cli.main(["--queue", str(blocker / "q"),
+                            "--cache", str(tmp_path), "--quiet"])
+    assert code == worker_cli.EXIT_TRANSPORT_ERROR == 3
+    err = capsys.readouterr().err
+    assert f"cannot reach queue {str(blocker / 'q')!r}" in err
+
+
+# -- per-run accounting -------------------------------------------------------
+
 def test_campaign_meta_reports_per_run_probe_stats(tmp_path):
-    """The instance counters on ResultCache are per-process and cumulative;
+    """The instance counters are per-process and cumulative;
     CampaignResult.meta["cache"] carries the authoritative per-run stats
     counted from the orchestrator's actual probes."""
     spec = _spec()
@@ -141,6 +346,21 @@ def test_campaign_meta_reports_per_run_probe_stats(tmp_path):
     assert uncached.meta["cache"]["enabled"] is False
 
 
+# -- filesystem-specific behavior ---------------------------------------------
+
+def test_fs_layout_path_and_put_return(tmp_path):
+    """ResultCache keeps the original on-disk contract: put returns the
+    entry's Path, path() predicts it, and the two-level fan-out matches
+    the storage key."""
+    cache = ResultCache(tmp_path)
+    job = _job()
+    path = cache.put(job, _record(job))
+    key = cache.key(job)
+    assert path == tmp_path / key[:2] / f"{key}.json"
+    assert cache.path(job) == path
+    assert path.is_file()
+
+
 def test_explicit_root_expands_tilde(monkeypatch, tmp_path):
     """ResultCache('~/...') (the README usage) must land in the home
     directory, not create a literal '~' directory in the CWD."""
@@ -149,20 +369,25 @@ def test_explicit_root_expands_tilde(monkeypatch, tmp_path):
     assert cache.root == tmp_path / "cache-root"
 
 
-def test_schema_stale_cache_record_is_recomputed_not_fatal(tmp_path):
-    """A record whose job spec matches but whose result payload misses
-    required fields (older/newer schema) must be treated as a miss."""
+def test_leftover_tmp_files_are_invisible(tmp_path):
+    """A crash between tmp-write and rename leaves a *.tmp.<pid> file that
+    neither counts as an entry nor breaks probes of the real key."""
     cache = ResultCache(tmp_path)
     job = _job()
-    cache.put(job, {"result": {"job_id": job.job_id}})  # no case/params/seed
-    result = run_campaign(_spec(), cache=cache)
-    assert result.ok
-    assert result.cache_hits == 0  # the stale record did not serve (or crash)
-
-
-def test_clear_and_len(tmp_path):
-    cache = ResultCache(tmp_path)
-    run_campaign(_spec(), cache=cache)
-    assert len(cache) == 4
-    assert cache.clear() == 4
+    tmp = cache.path(job).with_suffix(".tmp.12345")
+    tmp.parent.mkdir(parents=True, exist_ok=True)
+    tmp.write_text('{"result": {"half": true', encoding="utf-8")
+    assert cache.get(job) is None
     assert len(cache) == 0
+    cache.put(job, _record(job))
+    assert len(cache) == 1
+    assert cache.get(job) is not None
+
+
+def test_unwritable_cache_dir_raises_transport_error(tmp_path):
+    """An unwritable cache location fails like an unreachable broker —
+    TransportError, which the worker CLI maps to exit 3."""
+    blocker = tmp_path / "not-a-dir"
+    blocker.write_text("file, not directory", encoding="utf-8")
+    with pytest.raises(TransportError, match="cannot create"):
+        ResultCache(blocker / "cache")

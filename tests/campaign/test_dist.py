@@ -15,6 +15,8 @@ storage model — while staying milliseconds-scale, so the fleet tests keep
 tier-1 fast.
 """
 
+import threading
+
 import pytest
 
 from repro.campaign import (
@@ -24,6 +26,8 @@ from repro.campaign import (
     ResultCache,
     SerialExecutor,
     SweepSpec,
+    TransportResultCache,
+    open_cache,
     run_campaign,
     snapshot_campaign,
 )
@@ -116,6 +120,152 @@ def test_distributed_fleet_with_worker_crash_matches_serial(crash_fleet,
     assert max(attempts) >= 2, attempts
     crashed = [r for r in records if r["attempts"] >= 2]
     assert all(not r["worker"].startswith("w1-") for r in crashed)
+
+
+def test_broker_fleet_dedups_through_broker_cache_under_crash(platform_serial):
+    """The no-shared-filesystem story, end to end: worker *processes*
+    reach both the queue and the result cache purely through one broker
+    URL (``--queue http://B --cache http://B``), the broker's store is
+    in-memory — there is no shared directory anywhere — and with a worker
+    crashing mid-grid the fleet still executes each job key at most once
+    and reproduces the serial aggregate bit-for-bit.  A second fleet over
+    a wiped queue then serves *every* job from the broker cache: the
+    dedup layer, not the queue, is what remembered the work."""
+    broker = Broker().start()  # memory-backed: nothing touches a disk
+    try:
+        cache = open_cache(broker.url)
+        executor = DistributedExecutor(
+            workers=2, transport=broker.url, cache=cache,
+            lease_seconds=1.0, poll_interval=0.05, timeout=300.0,
+            worker_extra_args=[(), ("--crash-after-claims", "2")])
+        distributed = run_campaign(PLATFORM_SPEC, executor=executor,
+                                   cache=cache)
+        assert distributed.ok, distributed.failures
+        assert (platform_serial.aggregate_fingerprint()
+                == distributed.aggregate_fingerprint())
+
+        records = executor.last_queue.result_records()
+        assert len(records) == 12
+        # ≤1 execution per job key: every settled record is a fresh
+        # execution and there is exactly one record per key — the crashed
+        # claim was re-run by the survivor (attempts >= 2), not doubled.
+        assert all(not record["cached"] for record in records.values())
+        assert max(record["attempts"] for record in records.values()) >= 2
+        assert len(cache) == 12
+
+        # Phase 2: erase the queue's memory of the campaign, keep the
+        # cache, and drain the same grid with a fresh fleet.  Every job
+        # must come back cache-served through the broker — no shared
+        # filesystem ever existed for the workers to dedup through.
+        transport = executor.last_queue.transport
+        for prefix in ("jobs/", "pending/", "claims/", "results/",
+                       "done/", "dead/", "queue"):
+            for key in transport.list(prefix):
+                transport.delete(key)
+        executor2 = DistributedExecutor(
+            workers=2, transport=broker.url, cache=cache,
+            lease_seconds=5.0, poll_interval=0.05, timeout=300.0)
+        results = executor2.map(execute_job, PLATFORM_SPEC.expand())
+        assert all(result.cached for result in results)
+        assert ([r.metrics for r in results]
+                == [r.metrics for r in platform_serial])
+        assert len(cache) == 12  # no re-executions, no new records
+    finally:
+        broker.stop()
+
+
+def test_thread_fleet_executes_each_job_exactly_once_without_any_fs(
+        monkeypatch):
+    """Property: N thread-fleet workers × one grid over MemoryTransport
+    (queue *and* cache) execute every job key exactly once, reproduce the
+    serial aggregate, and a second fleet over the warm cache adds zero
+    executions — with no filesystem anywhere (both stores are address-less
+    in-process transports)."""
+    from repro.campaign.dist import worker as worker_mod
+
+    spec = _synthetic_spec()
+    serial = run_campaign(spec, executor=SerialExecutor())
+
+    lock = threading.Lock()
+    executions = {}
+    real_execute = worker_mod.execute_job
+
+    def counting_execute(job):
+        with lock:
+            executions[job.job_id] = executions.get(job.job_id, 0) + 1
+        return real_execute(job)
+
+    monkeypatch.setattr(worker_mod, "execute_job", counting_execute)
+    cache = TransportResultCache(MemoryTransport())
+    assert cache.root is None and cache.address is None
+
+    executor = DistributedExecutor(transport=MemoryTransport(), workers=4,
+                                   cache=cache, lease_seconds=5.0,
+                                   poll_interval=0.01, timeout=120.0)
+    distributed = run_campaign(spec, executor=executor, cache=cache)
+    assert distributed.ok, distributed.failures
+    assert (serial.aggregate_fingerprint()
+            == distributed.aggregate_fingerprint())
+    assert executions == {job.job_id: 1 for job in spec.expand()}
+
+    # A second fleet (fresh queue, same in-memory cache): all served, the
+    # execution census does not move.
+    executor2 = DistributedExecutor(transport=MemoryTransport(), workers=4,
+                                    cache=cache, lease_seconds=5.0,
+                                    poll_interval=0.01, timeout=120.0)
+    results = executor2.map(execute_job, spec.expand())
+    assert all(result.cached for result in results)
+    assert executions == {job.job_id: 1 for job in spec.expand()}
+    assert len(cache) == len(spec.expand())
+
+
+def test_map_survives_cost_model_store_outage():
+    """Scheduling priors are best-effort: a cache store that rejects the
+    cost-model document — at priors load *and* at the post-drain save —
+    must degrade to FIFO ordering / lost priors, never fail a campaign
+    whose results are in hand."""
+    from repro.campaign import TransportError
+
+    class ModellessTransport(MemoryTransport):
+        def get(self, key):
+            if key == "costmodel.json":
+                raise TransportError("model store offline")
+            return super().get(key)
+
+        def put(self, key, data):
+            if key == "costmodel.json":
+                raise TransportError("model store offline")
+            return super().put(key, data)
+
+    spec = _synthetic_spec()
+    serial = run_campaign(spec, executor=SerialExecutor())
+    cache = TransportResultCache(ModellessTransport())
+    executor = DistributedExecutor(transport=MemoryTransport(), workers=2,
+                                   cache=cache, lease_seconds=5.0,
+                                   poll_interval=0.01, timeout=120.0)
+    distributed = run_campaign(spec, executor=executor, cache=cache)
+    assert distributed.ok, distributed.failures
+    assert (serial.aggregate_fingerprint()
+            == distributed.aggregate_fingerprint())
+    assert len(cache) == len(spec.expand())  # results still cached
+
+
+def test_orchestrator_persists_when_process_fleet_cannot_reach_cache(tmp_path):
+    """A *process* fleet given an address-less (in-memory) cache cannot
+    probe it — no --cache can name it.  run_campaign must then keep its
+    own cache writes rather than trusting the workers: dedup falls back
+    to the orchestrator instead of silently vanishing."""
+    spec = _synthetic_spec()
+    cache = TransportResultCache(MemoryTransport())
+    executor = DistributedExecutor(queue_dir=tmp_path / "queue", workers=2,
+                                   cache=cache, poll_interval=0.05,
+                                   timeout=120.0)
+    assert not executor.workers_share_cache
+    first = run_campaign(spec, executor=executor, cache=cache)
+    assert first.ok, first.failures
+    assert len(cache) == len(spec.expand())  # the orchestrator persisted
+    second = run_campaign(spec, cache=cache)
+    assert second.cache_hits == len(spec.expand())
 
 
 def test_incremental_aggregation_over_half_drained_queue(tmp_path):

@@ -58,6 +58,7 @@ def test_relative_links_resolve(doc):
 
 @pytest.mark.parametrize("module_name", [
     "repro.campaign.jsonio",
+    "repro.campaign.cache",
     "repro.campaign.dist.transport",
     "repro.campaign.dist.costmodel",
 ])
