@@ -6,10 +6,18 @@ Every benchmark regenerates one table or figure of the paper at a reduced
 takes to run), prints the paper-vs-measured comparison, and asserts the
 qualitative shape the paper reports.  EXPERIMENTS.md records the measured
 values.
+
+The throughput micro-benchmarks additionally persist machine-readable
+artifacts (:func:`write_bench_artifact` → ``BENCH_<name>.json`` with
+ops/s, git sha and timestamp) so the perf trajectory is tracked across
+PRs instead of living only in terminal scrollback; CI uploads them.
 """
 
+import json
 import os
+import subprocess
 import sys
+import time
 
 import pytest
 
@@ -33,6 +41,51 @@ def pytest_collection_modifyitems(items):
         if (str(item.fspath).startswith(_BENCH_DIR)
                 and "tier1" not in item.keywords):
             item.add_marker(pytest.mark.bench)
+
+
+def _git_sha() -> str:
+    """Current commit sha, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            cwd=os.path.dirname(_BENCH_DIR), timeout=10.0, check=False)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def write_bench_artifact(name, results):
+    """Persist one benchmark's numbers as ``BENCH_<name>.json``.
+
+    ``results`` is a flat mapping of metric name → ops/s (floats); the
+    artifact adds the git sha and a UTC timestamp so a sequence of
+    artifacts *is* the perf trajectory.  The destination defaults to the
+    benchmarks directory (committed, so the trajectory rides the repo)
+    and is overridable via ``REPRO_BENCH_DIR`` for CI artifact staging.
+    Returns the path written.
+    """
+    record = {
+        "benchmark": name,
+        "git_sha": _git_sha(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "results": {key: round(float(value), 2)
+                    for key, value in sorted(results.items())},
+    }
+    out_dir = os.environ.get("REPRO_BENCH_DIR", _BENCH_DIR)
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def bench_artifact():
+    """The :func:`write_bench_artifact` writer, as a fixture (resolved
+    from this conftest regardless of how pytest maps module names)."""
+    return write_bench_artifact
 
 
 def run_once(benchmark, fn, *args, **kwargs):

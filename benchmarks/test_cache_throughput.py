@@ -71,15 +71,21 @@ def rates(tmp_path_factory):
     return out
 
 
-def test_report_and_floor_cache_rates(rates):
+def test_report_and_floor_cache_rates(rates, bench_artifact):
     for name, (puts, gets) in sorted(rates.items(), key=lambda kv: -kv[1][1]):
         print(f"\n{name:>7}: {puts:8,.0f} puts/s  {gets:8,.0f} gets/s")
-    # Loose floors: a put is one CAS of a ~400-byte document, a get one
-    # read + JSON validate; even the HTTP broker should sustain tens of
-    # operations per second on any CI host.
+    bench_artifact("cache", {
+        key: value for name, (puts, gets) in rates.items()
+        for key, value in ((f"{name}_puts_per_s", puts),
+                           (f"{name}_gets_per_s", gets))})
+    # Conservative floors (the perf-smoke CI leg fails on regression
+    # below them): a put is one CAS of a ~400-byte document, a get one
+    # read + JSON validate.  The HTTP floor assumes the keep-alive
+    # pooled connection — the pre-overhaul connection-per-request client
+    # measured ~1.3k/1.7k ops/s locally and sat near it on CI hosts.
     assert rates["memory"][0] > 500.0 and rates["memory"][1] > 500.0
     assert rates["fs"][0] > 100.0 and rates["fs"][1] > 100.0
-    assert rates["http"][0] > 20.0 and rates["http"][1] > 20.0
+    assert rates["http"][0] > 200.0 and rates["http"][1] > 200.0
 
 
 def test_memory_cache_is_the_fast_path(rates):

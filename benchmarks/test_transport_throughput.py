@@ -39,11 +39,16 @@ def _jobs(n):
 
 
 def _cycle_rate(transport, jobs):
-    """Full enqueue→claim→complete cycles per second over ``transport``."""
+    """Full enqueue→claim→complete cycles per second over ``transport``.
+
+    Enqueueing uses the batched bulk path (``enqueue_grid``) — the way
+    campaigns actually submit grids — so the measured cycle is the
+    operational hot loop: batch enqueue, paginated claim scan with
+    batch-probed candidates, batched settle.
+    """
     queue = WorkQueue(transport=transport, lease_seconds=60.0)
     start = time.perf_counter()
-    for job in jobs:
-        queue.enqueue(job)
+    queue.enqueue_grid(jobs)
     settled = 0
     while True:
         item = queue.claim("bench-worker")
@@ -71,15 +76,19 @@ def rates(tmp_path_factory):
     return out
 
 
-def test_report_and_floor_cycle_rates(rates):
+def test_report_and_floor_cycle_rates(rates, bench_artifact):
     for name, rate in sorted(rates.items(), key=lambda kv: -kv[1]):
         print(f"\n{name:>7}: {rate:8,.0f} queue cycles/s")
-    # Loose floors: a cycle is ~10 small-document operations, so even the
-    # HTTP broker (localhost, one mutation lock) should sustain tens of
-    # cycles per second on any CI host.
+    bench_artifact("transport", {
+        f"{name}_cycles_per_s": rate for name, rate in rates.items()})
+    # Conservative floors (the perf-smoke CI leg fails on regression
+    # below them): a cycle is ~7 batched operations.  The HTTP floor is
+    # calibrated to the keep-alive + /batch broker — the pre-overhaul
+    # connection-per-request path measured ~80 cycles/s locally and
+    # could not clear it.
     assert rates["memory"] > 200.0
     assert rates["fs"] > 50.0
-    assert rates["http"] > 10.0
+    assert rates["http"] > 100.0
 
 
 def test_memory_transport_is_the_fast_path(rates):

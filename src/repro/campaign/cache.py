@@ -157,26 +157,27 @@ class TransportResultCache:
         """Probe many jobs; returns one record-or-``None`` per job.
 
         Instead of one blocking round trip per job — which turns a cold
-        10k-job grid over a WAN broker into minutes of serial GETs —
-        presence is established by listing the jobs' fan-out shards (at
-        most 256 listings, usually far fewer), and only present keys are
-        fetched and validated exactly like :meth:`get`.  A record landing
-        between the listing and the fetch reads as a miss and is simply
-        recomputed — results are content-derived, so the re-execution
-        converges on the same record.
+        10k-job grid over a WAN broker into minutes of serial GETs — the
+        probes ride the transport's batch primitive
+        (:meth:`~repro.campaign.dist.transport.QueueTransport.get_many`):
+        over the HTTP broker a whole grid's worth of keys travels in a
+        handful of ``/batch`` requests, hits and misses alike, and every
+        returned record is validated exactly like :meth:`get`.
         """
         jobs = list(jobs)
-        keys = [self.storage_key(job) for job in jobs]
-        present = set()
-        for shard in sorted({key[:3] for key in keys}):  # "ab/"
-            present.update(self.transport.list(shard))
+        if not jobs:
+            return []
+        fetched = self.transport.get_many(
+            [self.storage_key(job) for job in jobs])
         records = []
-        for job, key in zip(jobs, keys):
-            if key not in present:
+        for job, got in zip(jobs, fetched):
+            record = json_loads_or_none(got[0]) if got is not None else None
+            if record is None or not self._stores_job(record, job):
                 self.misses += 1
                 records.append(None)
             else:
-                records.append(self.get(job))
+                self.hits += 1
+                records.append(record)
         return records
 
     def put(self, job: JobSpec, record: Dict[str, Any]) -> str:

@@ -4,8 +4,10 @@ The ROADMAP's distributed-executor seam, realized as cooperating pieces
 that any mix of threads, processes and hosts can participate in:
 
 * :class:`~repro.campaign.dist.transport.QueueTransport` — the pluggable
-  storage contract (get/put/compare-and-swap/list/delete on opaque keys)
-  with three implementations: :class:`~repro.campaign.dist.transport.
+  storage contract (get/put/compare-and-swap/list/delete on opaque keys,
+  plus batch ``get_many``/``put_many``/``delete_many`` and paginated
+  ``list_page`` for throughput) with three implementations:
+  :class:`~repro.campaign.dist.transport.
   FsTransport` (shared directory), :class:`~repro.campaign.dist.transport.
   MemoryTransport` (in-process, thread fleets) and
   :class:`~repro.campaign.dist.transport.HttpTransport` (S3-style REST

@@ -54,9 +54,9 @@ import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, List, Optional, Set
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.campaign.dist.transport import FsTransport, QueueTransport
+from repro.campaign.dist.transport import ANY, FsTransport, QueueTransport
 from repro.campaign.jobs import JobResult, result_from_record_or_none
 from repro.campaign.jsonio import json_dumps_bytes, json_loads_or_none
 from repro.campaign.spec import JobSpec
@@ -64,6 +64,21 @@ from repro.campaign.spec import JobSpec
 #: Priority strings are fixed-width so lexicographic order == numeric order.
 _PRIORITY_WIDTH = 10
 _PRIORITY_MAX = 10 ** _PRIORITY_WIDTH - 1
+
+#: Pending tickets fetched per page during claim/backlog scans — a claim
+#: normally wins inside the first page, so the scan stops shipping the
+#: full keyspace for every poll.
+_SCAN_PAGE = 64
+
+#: Candidates whose result/ticket/claim documents are batch-probed per
+#: claim round trip.  A claim normally wins on the window's first
+#: candidate, so a bigger window mostly ships unused documents.
+_CLAIM_WINDOW = 16
+
+#: Cap on the pending tickets a :meth:`WorkQueue.backlog` scan inspects.
+#: Any realistic :class:`~repro.campaign.dist.costmodel.AutoscalePolicy`
+#: saturates its ``max_workers`` long before this many claimable tickets.
+_BACKLOG_SCAN_CAP = 1024
 
 def priority_for_cost(cost: float) -> str:
     """Encode an estimated cost (seconds) as a sortable priority string.
@@ -227,10 +242,6 @@ class WorkQueue:
         dead-lettered is a no-op, so a restarted orchestrator can replay a
         whole grid into an existing queue safely.
         """
-        return self._enqueue(job, cost, known=None)
-
-    def _enqueue(self, job: JobSpec, cost: float,
-                 known: Optional[Dict[str, Set[str]]]) -> str:
         key = job.job_id
         record = self._get_json(f"jobs/{key}.json")
         if record and "job" in record:
@@ -247,38 +258,37 @@ class WorkQueue:
                 # tickets.
                 record = self._get_json(f"jobs/{key}.json") or payload
                 name = record.get("name") or name
-        if known is not None:
-            settled_or_queued = (name in known["pending"]
-                                 or name in known["claims"]
-                                 or name in known["done"]
-                                 or key in known["results"]
-                                 or key in known["dead"])
-        else:
-            settled_or_queued = any((
-                self.transport.get(f"pending/{name}.json"),
-                self.transport.get(f"claims/{name}.json"),
-                self.transport.get(f"done/{name}.json"),
-                self.transport.get(f"results/{key}.json"),
-                self.transport.get(f"dead/{key}.json"),
-            ))
-        if settled_or_queued:
+        # One batched probe for every state that would make the ticket
+        # redundant, instead of five sequential round trips.
+        probes = self.transport.get_many([
+            f"pending/{name}.json",
+            f"claims/{name}.json",
+            f"done/{name}.json",
+            f"results/{key}.json",
+            f"dead/{key}.json",
+        ])
+        if any(got is not None for got in probes):
             return name
         self.transport.cas(f"pending/{name}.json",
                            json_dumps_bytes({"attempts": 0}), if_match=None)
-        if known is not None:
-            known["pending"].add(name)
         return name
 
     def enqueue_grid(self, jobs: Iterable[JobSpec],
                      cost_model: Optional[Any] = None) -> List[str]:
         """Enqueue many jobs, longest-estimated-first when a model is given.
 
-        Existing state is listed once up front instead of probed per job,
-        so replaying a large grid costs O(5 listings + new tickets) — it
-        matters over the HTTP transport, where every probe is a round
-        trip.
+        Fully batched: existing state is listed once up front, the
+        (immutable) job records are read and conditionally created in
+        bulk (``get_many`` / ``put_many``), and the tickets land in one
+        more batch — so replaying a large grid costs O(5 listings + a few
+        batch round trips), not O(jobs) round trips, over the HTTP
+        transport.  Races with concurrent orchestrators settle exactly as
+        in :meth:`enqueue`: a lost conditional create adopts the winner's
+        ticket name.
         """
         jobs = list(jobs)
+        if not jobs:
+            return []
         costs: List[float] = [0.0] * len(jobs)
         if cost_model is not None:
             jobs = cost_model.order(jobs)
@@ -290,8 +300,53 @@ class WorkQueue:
             "results": set(self._names("results")),
             "dead": set(self._names("dead")),
         }
-        return [self._enqueue(job, cost, known)
-                for job, cost in zip(jobs, costs)]
+        existing = self.transport.get_many(
+            [f"jobs/{job.job_id}.json" for job in jobs])
+        names: List[str] = []
+        creates: List[Tuple[int, bytes]] = []
+        for index, (job, cost, got) in enumerate(zip(jobs, costs, existing)):
+            record = json_loads_or_none(got[0]) if got is not None else None
+            if record and "job" in record:
+                names.append(record.get("name")
+                             or f"{priority_for_cost(cost)}-{job.job_id}")
+            else:
+                name = f"{priority_for_cost(cost)}-{job.job_id}"
+                payload = {"job": job.to_record(), "cost": float(cost),
+                           "name": name}
+                creates.append((index, json_dumps_bytes(payload)))
+                names.append(name)
+        if creates:
+            outcomes = self.transport.put_many(
+                [(f"jobs/{jobs[index].job_id}.json", data, None)
+                 for index, data in creates])
+            losers = [index for (index, _), tag in zip(creates, outcomes)
+                      if tag is None]
+            if losers:
+                # Lost enqueue races: adopt the winners' ticket names so a
+                # job cannot end up with two differently-prioritized
+                # tickets (one batched re-read for all losers).
+                won = self.transport.get_many(
+                    [f"jobs/{jobs[index].job_id}.json" for index in losers])
+                for index, got in zip(losers, won):
+                    record = (json_loads_or_none(got[0])
+                              if got is not None else None)
+                    if record and record.get("name"):
+                        names[index] = str(record["name"])
+        tickets: List[str] = []
+        for job, name in zip(jobs, names):
+            key = job.job_id
+            if (name in known["pending"] or name in known["claims"]
+                    or name in known["done"] or key in known["results"]
+                    or key in known["dead"]):
+                continue
+            tickets.append(name)
+            known["pending"].add(name)
+        if tickets:
+            self.transport.put_many(
+                [(f"pending/{name}.json",
+                  json_dumps_bytes({"attempts": 0}), None)
+                 for name in tickets])
+        return names
 
     # -- claim / lease -----------------------------------------------------
     def _lease_payload(self, worker: str, attempts: int,
@@ -309,22 +364,61 @@ class WorkQueue:
         with ``attempts == 0`` (requeueable), while a corrupt immutable
         job record is dead-lettered (nothing left to execute) and the
         scan continues with the next ticket.
+
+        The scan pages through the pending listing (a claim normally wins
+        inside the first page, so an idle poll never ships the whole
+        keyspace) and batch-probes each candidate window's result, ticket
+        *and* claim documents in one round trip — no full listing of
+        ``claims/`` either.
         """
         now = self._clock()
-        claimed = set(self._names("claims"))
-        have_results = set(self._names("results"))
-        for name in self._names("pending"):
-            key = self._key_of(name)
-            if key is None:
-                continue  # foreign document; leave it alone
-            if key in have_results:
+        start_after = ""
+        while True:
+            page, token = self.transport.list_page("pending/", _SCAN_PAGE,
+                                                   start_after=start_after)
+            head = len("pending/")
+            candidates = []
+            for full_key in page:
+                if not full_key.endswith(".json"):
+                    continue
+                name = full_key[head:-5]
+                key = self._key_of(name)
+                if key is not None:  # foreign documents left alone
+                    candidates.append((name, key))
+            for start in range(0, len(candidates), _CLAIM_WINDOW):
+                item = self._claim_from(
+                    candidates[start:start + _CLAIM_WINDOW], worker, now)
+                if item is not None:
+                    return item
+            if token is None:
+                return None
+            start_after = token
+
+    def _claim_from(self, candidates, worker: str,
+                    now: float) -> Optional[WorkItem]:
+        """Try to claim one of ``candidates`` (one window of pending names,
+        priority-ordered); returns the won :class:`WorkItem` or ``None``."""
+        if not candidates:
+            return None
+        count = len(candidates)
+        probes = self.transport.get_many(
+            [f"results/{key}.json" for _, key in candidates]
+            + [f"pending/{name}.json" for name, _ in candidates]
+            + [f"claims/{name}.json" for name, _ in candidates])
+        have_result = probes[:count]
+        tickets = probes[count:2 * count]
+        held = probes[2 * count:]
+        for (name, key), result_doc, ticket_doc, claim_doc in zip(
+                candidates, have_result, tickets, held):
+            if result_doc is not None:
                 # Already computed (healed double-enqueue / crashed
                 # settle): retire the ticket.
                 self._retire(name, key)
                 continue
-            if name in claimed:
+            if claim_doc is not None:
                 continue  # held by a live (or not-yet-scavenged) claim
-            ticket = self._get_json(f"pending/{name}.json") or {}
+            ticket = (json_loads_or_none(ticket_doc[0])
+                      if ticket_doc is not None else None) or {}
             attempts = int(ticket.get("attempts", 0) or 0)
             payload = json_dumps_bytes(
                 self._lease_payload(worker, attempts, now))
@@ -400,23 +494,38 @@ class WorkQueue:
         was requeued and possibly re-run elsewhere) is harmless: results
         are content-derived and therefore identical, and the stale claim
         etag keeps us from touching the new claimant's lease.
+
+        Settling is two batch round trips: the writes (result record,
+        then done marker — ``put_many`` applies in order, so the result
+        is still the commit point) and then the retirements.
         """
-        self._put_json(f"results/{item.key}.json", {
+        record = {
             "result": result.to_record(),
             "cached": bool(result.cached),
             "worker": item.worker,
             "attempts": item.attempts + 1,
-        })
-        self._retire(item.name, item.key,
-                     claim_etag=item.etag or None)
+        }
+        self.transport.put_many([
+            (f"results/{item.key}.json", json_dumps_bytes(record), ANY),
+            (f"done/{item.name}.json", json_dumps_bytes({}), None),
+        ])
+        self.transport.delete_many([
+            (f"pending/{item.name}.json", None),
+            # Conditional on our etag: ours going stale (late completion
+            # after requeue) must leave the new claimant's lease alone.
+            (f"claims/{item.name}.json", item.etag or None),
+        ])
 
     def _retire(self, name: str, key: str,
                 claim_etag: Optional[str] = None) -> None:
         """Idempotently move a ticket with a persisted result to ``done``."""
         self.transport.cas(f"done/{name}.json", json_dumps_bytes({}),
                            if_match=None)
-        self._delete(f"pending/{name}.json")
-        if not self._delete(f"claims/{name}.json", if_match=claim_etag):
+        removed = self.transport.delete_many([
+            (f"pending/{name}.json", None),
+            (f"claims/{name}.json", claim_etag),
+        ])
+        if not removed[1]:
             # Ours went stale (late completion after requeue) — leave the
             # new claimant's lease alone; the scavenger retires it against
             # the result record.  An unconditional retire (claim_etag None)
@@ -471,26 +580,40 @@ class WorkQueue:
         have_results = set(self._names("results"))
         have_dead = set(self._names("dead"))
         requeued: List[str] = []
-        for name in self._names("claims"):
+        names = [name for name in self._names("claims")
+                 if self._key_of(name) is not None]
+        # The heartbeat/scavenge scan reads every claim document in one
+        # batch instead of one round trip per claim; the per-claim
+        # decision logic below is unchanged.
+        leases = self.transport.get_many(
+            [f"claims/{name}.json" for name in names])
+        expired: List[Tuple[str, str, str, Optional[Dict[str, Any]]]] = []
+        for name, got in zip(names, leases):
             key = self._key_of(name)
-            if key is None:
-                continue
             if key in have_results:
                 self._retire(name, key)
                 continue
             if key in have_dead:
                 # Crash mid-bury: the dead record is authoritative.
-                self._delete(f"pending/{name}.json")
-                self._delete(f"claims/{name}.json")
+                self.transport.delete_many([
+                    (f"pending/{name}.json", None),
+                    (f"claims/{name}.json", None),
+                ])
                 continue
-            got = self.transport.get(f"claims/{name}.json")
             if got is None:
                 continue  # settled concurrently
             lease = json_loads_or_none(got[0])
             if lease is not None and float(lease.get("expires_at",
                                                      0.0)) > now:
                 continue  # live lease
-            ticket = self._get_json(f"pending/{name}.json") or {}
+            expired.append((name, key, got[1], lease))
+        if not expired:
+            return requeued
+        tickets = self.transport.get_many(
+            [f"pending/{name}.json" for name, _, _, _ in expired])
+        for (name, key, etag, lease), ticket_doc in zip(expired, tickets):
+            ticket = (json_loads_or_none(ticket_doc[0])
+                      if ticket_doc is not None else None) or {}
             attempts = int(ticket.get("attempts", 0) or 0)
             if lease is not None:
                 attempts = max(attempts, int(lease.get("attempts", 0) or 0))
@@ -504,7 +627,7 @@ class WorkQueue:
             # the attempt count, then release the claim — conditionally,
             # so a concurrent heartbeat renewal (the worker lives) wins.
             self._put_json(f"pending/{name}.json", {"attempts": attempts})
-            if self._delete(f"claims/{name}.json", if_match=got[1]):
+            if self._delete(f"claims/{name}.json", if_match=etag):
                 requeued.append(key)
         return requeued
 
@@ -521,14 +644,19 @@ class WorkQueue:
         and stay buried).
         """
         wanted = None if keys is None else set(keys)
+        buried = [key for key in self._names("dead")
+                  if wanted is None or key in wanted]
+        probes = self.transport.get_many(
+            [f"results/{key}.json" for key in buried]
+            + [f"jobs/{key}.json" for key in buried])
         revived: List[str] = []
-        for key in self._names("dead"):
-            if wanted is not None and key not in wanted:
-                continue
-            if self.transport.get(f"results/{key}.json") is not None:
+        for key, result_doc, job_doc in zip(buried, probes[:len(buried)],
+                                            probes[len(buried):]):
+            if result_doc is not None:
                 self._delete(f"dead/{key}.json")  # already computed
                 continue
-            record = self._get_json(f"jobs/{key}.json")
+            record = (json_loads_or_none(job_doc[0])
+                      if job_doc is not None else None)
             if not record or "job" not in record:
                 continue  # nothing left to execute
             name = record.get("name") or (
@@ -555,8 +683,24 @@ class WorkQueue:
                 "dead": len(self._names("dead"))}
 
     def drained(self) -> bool:
-        """True when nothing is left to execute (no tickets, no claims)."""
-        return not self._names("pending") and not self._names("claims")
+        """True when nothing is left to execute (no tickets, no claims).
+
+        Emptiness is probed with one-page listings (a drain poll must not
+        ship the whole pending keyspace just to learn it is non-empty).
+        """
+        return self._state_empty("pending") and self._state_empty("claims")
+
+    def _state_empty(self, state: str) -> bool:
+        """True when a state prefix holds no ``.json`` documents."""
+        start_after = ""
+        while True:
+            page, token = self.transport.list_page(f"{state}/", 16,
+                                                   start_after=start_after)
+            if any(key.endswith(".json") for key in page):
+                return False
+            if token is None:
+                return True
+            start_after = token  # page of foreign names only: keep looking
 
     def pending_keys(self) -> List[str]:
         """Keys claimable right now (ticket present, no claim document)."""
@@ -579,15 +723,15 @@ class WorkQueue:
         should say so even before a scavenger runs.
         """
         now = self._clock() if now is None else now
+        names = [name for name in self._names("claims")
+                 if self._key_of(name) is not None]
         live: List[str] = []
-        for name in self._names("claims"):
-            key = self._key_of(name)
-            if key is None:
-                continue
-            lease = self._get_json(f"claims/{name}.json")
+        for name, got in zip(names, self.transport.get_many(
+                [f"claims/{name}.json" for name in names])):
+            lease = json_loads_or_none(got[0]) if got is not None else None
             if lease is not None and float(lease.get("expires_at",
                                                      0.0)) > now:
-                live.append(key)
+                live.append(self._key_of(name))
         return live
 
     def terminal_keys(self) -> set:
@@ -598,19 +742,46 @@ class WorkQueue:
         """
         return set(self._names("results")) | set(self._names("dead"))
 
-    def backlog(self, now: Optional[float] = None) -> Dict[str, float]:
+    def backlog(self, now: Optional[float] = None,
+                max_names: int = _BACKLOG_SCAN_CAP) -> Dict[str, float]:
         """Claimable depth and estimated cost backlog, from listings alone.
 
         The cost estimate of every unclaimed ticket is decoded from its
         priority-encoded name (:func:`cost_for_priority`), so autoscaling
-        decisions cost two listings per tick — no record reads.  Returns
-        ``{"pending": <ticket count>, "seconds": <summed estimate>}``.
+        decisions cost a few listing pages per tick — no record reads.
+        The pending scan is *paginated and capped* at ``max_names``
+        claimable tickets: beyond the cap the counts are reported as
+        (ample) lower bounds with ``truncated`` set, since any realistic
+        :class:`~repro.campaign.dist.costmodel.AutoscalePolicy` saturates
+        its ``max_workers`` long before then — the autoscaler must not
+        ship a million-ticket keyspace every tick to decide "scale to 8".
+        Returns ``{"pending": <ticket count>, "seconds": <summed
+        estimate>, "truncated": 0.0 or 1.0}``.
         """
         claims = set(self._names("claims"))
-        names = [name for name in self._names("pending")
-                 if name not in claims and self._key_of(name) is not None]
+        names: List[str] = []
+        truncated = False
+        start_after = ""
+        head = len("pending/")
+        while True:
+            page, token = self.transport.list_page(
+                "pending/", min(_SCAN_PAGE * 8, max(1, max_names)),
+                start_after=start_after)
+            for full_key in page:
+                if not full_key.endswith(".json"):
+                    continue
+                name = full_key[head:-5]
+                if name not in claims and self._key_of(name) is not None:
+                    names.append(name)
+            if token is None:
+                break
+            if len(names) >= max_names:
+                truncated = True
+                break
+            start_after = token
         return {"pending": float(len(names)),
-                "seconds": sum(cost_for_priority(name) for name in names)}
+                "seconds": sum(cost_for_priority(name) for name in names),
+                "truncated": 1.0 if truncated else 0.0}
 
     def results(self) -> Dict[str, JobResult]:
         """All persisted results, keyed by job key (corrupt records skipped)."""
@@ -625,18 +796,20 @@ class WorkQueue:
     def result_records(self) -> Dict[str, Dict[str, Any]]:
         """Raw result documents keyed by job key — including the settling
         worker's identity and attempt number, for audits and tests."""
-        out: Dict[str, Dict[str, Any]] = {}
-        for key in self._names("results"):
-            record = self._get_json(f"results/{key}.json")
-            if record is not None:
-                out[key] = record
-        return out
+        return self._read_state("results")
 
     def dead(self) -> Dict[str, Dict[str, Any]]:
         """Dead-letter records keyed by job key."""
+        return self._read_state("dead")
+
+    def _read_state(self, state: str) -> Dict[str, Dict[str, Any]]:
+        """All of one state's documents, fetched in batches (a 10k-result
+        collection is a handful of round trips, not 10k)."""
+        keys = self._names(state)
         out: Dict[str, Dict[str, Any]] = {}
-        for key in self._names("dead"):
-            record = self._get_json(f"dead/{key}.json")
+        for key, got in zip(keys, self.transport.get_many(
+                [f"{state}/{key}.json" for key in keys])):
+            record = json_loads_or_none(got[0]) if got is not None else None
             if record is not None:
                 out[key] = record
         return out

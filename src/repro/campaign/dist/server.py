@@ -3,7 +3,7 @@
 Runnable as a module::
 
     python -m repro.campaign.dist.server --port 8123 [--data-dir DIR] \
-        [--host 0.0.0.0] [--verbose]
+        [--host 0.0.0.0] [--lock-stripes N] [--verbose]
 
 The broker is the network hop that lets a campaign scale past one shared
 filesystem: the orchestrator and any number of workers point
@@ -19,14 +19,27 @@ Design:
   — in which case the whole queue state survives a broker restart, and
   because ETags are content-derived, *leases held by workers remain valid
   across the restart* (the crash tests pin this down).
-* **Mutations serialize under one lock**, so conditional PUT/DELETE
-  (``If-Match`` / ``If-None-Match: *``) are atomic even over the
-  read-check-write filesystem transport: the single broker process is the
-  serialization point, exactly like an object store's CAS.
+* **Mutations serialize under striped locks.**  Conditional PUT/DELETE
+  (``If-Match`` / ``If-None-Match: *``) must be atomic even over the
+  read-check-write filesystem transport; instead of one global mutation
+  lock, keys hash by their *top-level prefix* (``pending/``, ``claims/``,
+  the cache's two-hex shards, …) onto a small array of stripe locks, so
+  a worker settling a result never waits behind another worker claiming a
+  ticket.  Correctness only needs mutations *of the same key* to
+  serialize, and a key's prefix always maps to the same stripe.
+* **Batching.**  ``POST /batch`` executes many conditional operations
+  from one request body in order, returning a per-op status — one round
+  trip for what used to be dozens.  Batches are not transactions: each
+  op locks its own stripe and succeeds or conflicts individually.
+* **Pagination.**  ``GET /list`` accepts ``max-keys`` and ``start-after``
+  so heartbeat and autoscale scans fetch bounded pages (keyset
+  continuation: the token is the last key of the page, so deletions
+  between pages never skip survivors).
 * **Dialect** (see :class:`~repro.campaign.dist.transport.HttpTransport`):
   ``GET/PUT/DELETE /k/<key>`` with ``ETag``/``If-Match``/``If-None-Match``
-  headers, ``GET /list?prefix=<p>`` → ``{"keys": [...]}``, and
-  ``GET /healthz`` for liveness probes.
+  headers, ``GET /list?prefix=<p>`` → ``{"keys": [...]}``,
+  ``POST /batch``, and ``GET /healthz`` for liveness probes.  Connections
+  are HTTP/1.1 keep-alive: one TCP connection carries a whole campaign.
 
 The server is ``ThreadingHTTPServer``-based and stdlib-only.  For tests
 and single-process demos, :class:`Broker` runs the same server on a
@@ -36,34 +49,76 @@ background thread (``with Broker() as broker: HttpTransport(broker.url)``).
 from __future__ import annotations
 
 import argparse
+import base64
+import binascii
 import threading
 import urllib.parse
+import zlib
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional
+from typing import Any, Dict, List, Optional
 
-from repro.campaign.jsonio import json_dumps_bytes
+from repro.campaign.jsonio import json_dumps_bytes, json_loads_or_none
 from repro.campaign.dist.transport import (
     FsTransport,
     MemoryTransport,
     QueueTransport,
 )
 
+#: Default number of stripe locks; a power of two comfortably above the
+#: number of distinct queue states (jobs/pending/claims/results/done/dead
+#: + queue.json + cache shards) without wasting memory.
+DEFAULT_LOCK_STRIPES = 16
+
+#: Upper bound the broker clamps a ``max-keys`` request parameter to.
+MAX_LIST_PAGE = 10000
+
+#: Upper bound on operations accepted in one ``/batch`` request.
+MAX_BATCH_OPS = 1024
+
+
+class StripeLocks:
+    """Per-prefix stripe locks: mutations on one key always serialize,
+    mutations on unrelated prefixes proceed concurrently.
+
+    The stripe is chosen by the key's top-level prefix (the segment
+    before the first ``/``, or the whole key) hashed with CRC-32 — stable
+    across processes, unlike ``hash(str)``, so a future multi-process
+    broker could share the mapping.
+    """
+
+    def __init__(self, stripes: int = DEFAULT_LOCK_STRIPES):
+        self._locks = [threading.Lock()
+                       for _ in range(max(1, int(stripes)))]
+
+    def __len__(self) -> int:
+        return len(self._locks)
+
+    def for_key(self, key: str) -> threading.Lock:
+        prefix = key.split("/", 1)[0]
+        return self._locks[zlib.crc32(prefix.encode("utf-8"))
+                           % len(self._locks)]
+
 
 class _BrokerHandler(BaseHTTPRequestHandler):
     """One request against the broker's backing transport.
 
     The handler class is generated per-server (:func:`make_server`) so the
-    backing store and its mutation lock arrive as class attributes —
+    backing store and its stripe locks arrive as class attributes —
     ``BaseHTTPRequestHandler`` instantiates per request and cannot take
     constructor arguments.
     """
 
-    store: QueueTransport = None  # type: ignore[assignment]
-    lock: threading.Lock = None   # type: ignore[assignment]
+    store: QueueTransport = None   # type: ignore[assignment]
+    locks: StripeLocks = None      # type: ignore[assignment]
     verbose = False
 
     protocol_version = "HTTP/1.1"
-    server_version = "repro-queue-broker/1.0"
+    server_version = "repro-queue-broker/2.0"
+    #: TCP_NODELAY: responses are written as a header packet then a body
+    #: packet; under Nagle the body write stalls until the client ACKs
+    #: the headers (~40ms of delayed-ACK per GET/LIST on Linux), which
+    #: would erase everything keep-alive buys.
+    disable_nagle_algorithm = True
 
     # -- helpers -----------------------------------------------------------
     def _key(self) -> Optional[str]:
@@ -93,17 +148,13 @@ class _BrokerHandler(BaseHTTPRequestHandler):
             self._reply(200, json_dumps_bytes({"ok": True}))
             return
         if parsed.path == "/list":
-            query = urllib.parse.parse_qs(parsed.query)
-            prefix = (query.get("prefix") or [""])[0]
-            with self.lock:
-                keys = self.store.list(prefix)
-            self._reply(200, json_dumps_bytes({"keys": keys}))
+            self._do_list(parsed)
             return
         key = self._key()
         if key is None:
             self._reply(404)
             return
-        with self.lock:
+        with self.locks.for_key(key):
             got = self.store.get(key)
         if got is None:
             self._reply(404)
@@ -111,15 +162,58 @@ class _BrokerHandler(BaseHTTPRequestHandler):
         data, etag = got
         self._reply(200, data, etag=etag)
 
+    def _do_list(self, parsed) -> None:
+        """``/list?prefix=<p>[&max-keys=<n>&start-after=<k>]``.
+
+        Without ``max-keys`` the full listing ships in one response (the
+        pre-pagination dialect, kept for old clients).  With it, one
+        keyset page: ``{"keys": [...], "truncated": bool, "next": tok}``.
+        Listings take no stripe lock — both backing stores are internally
+        consistent for reads, and a listing racing a mutation is allowed
+        to see either side of it (exactly as over a shared filesystem).
+        """
+        query = urllib.parse.parse_qs(parsed.query)
+        prefix = (query.get("prefix") or [""])[0]
+        raw_max = (query.get("max-keys") or [None])[0]
+        start_after = (query.get("start-after") or [""])[0]
+        if raw_max is None:
+            keys = self.store.list(prefix)
+            if start_after:
+                keys = [key for key in keys if key > start_after]
+            self._reply(200, json_dumps_bytes(
+                {"keys": keys, "truncated": False}))
+            return
+        try:
+            max_keys = int(raw_max)
+        except ValueError:
+            self._reply(400, json_dumps_bytes(
+                {"error": f"bad max-keys: {raw_max!r}"}))
+            return
+        if max_keys < 1:
+            self._reply(400, json_dumps_bytes(
+                {"error": f"bad max-keys: {raw_max!r}"}))
+            return
+        max_keys = min(max_keys, MAX_LIST_PAGE)
+        page, token = self.store.list_page(prefix, max_keys,
+                                           start_after=start_after)
+        payload: Dict[str, Any] = {"keys": page,
+                                   "truncated": token is not None}
+        if token is not None:
+            payload["next"] = token
+        self._reply(200, json_dumps_bytes(payload))
+
     def do_PUT(self) -> None:  # noqa: N802
         key = self._key()
         if key is None:
+            # Drain the unread body first: on a keep-alive connection the
+            # leftover bytes would be parsed as the next request line.
+            self._read_body()
             self._reply(404)
             return
         data = self._read_body()
         if_match = self.headers.get("If-Match")
         if_none_match = self.headers.get("If-None-Match")
-        with self.lock:
+        with self.locks.for_key(key):
             if if_none_match == "*":
                 etag = self.store.cas(key, data, if_match=None)
             elif if_match is not None:
@@ -137,13 +231,86 @@ class _BrokerHandler(BaseHTTPRequestHandler):
             self._reply(404)
             return
         if_match = self.headers.get("If-Match")
-        with self.lock:
+        with self.locks.for_key(key):
             existed = self.store.get(key) is not None
             removed = self.store.delete(key, if_match=if_match)
         if removed:
             self._reply(204)
         else:
             self._reply(412 if existed else 404)
+
+    # -- /batch ------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802
+        parsed = urllib.parse.urlparse(self.path)
+        if parsed.path != "/batch":
+            # Drain the unread body first: on a keep-alive connection the
+            # leftover bytes would be parsed as the next request line.
+            self._read_body()
+            self._reply(404)
+            return
+        payload = json_loads_or_none(self._read_body())
+        ops = payload.get("ops") if payload else None
+        if not isinstance(ops, list):
+            self._reply(400, json_dumps_bytes(
+                {"error": "body must be a JSON object with an 'ops' list"}))
+            return
+        if len(ops) > MAX_BATCH_OPS:
+            self._reply(400, json_dumps_bytes(
+                {"error": f"too many ops ({len(ops)} > {MAX_BATCH_OPS})"}))
+            return
+        results = [self._apply(op) for op in ops]
+        self._reply(200, json_dumps_bytes({"results": results}))
+
+    def _apply(self, op: Any) -> Dict[str, Any]:
+        """Execute one batch op under its key's stripe lock.
+
+        Per-op statuses mirror the single-request dialect exactly:
+        ``get`` → 200 (``etag`` + base64 ``data``) / 404; ``put`` →
+        200 (``etag``) / 412; ``delete`` → 204 / 404 / 412.  A malformed
+        op is a per-op 400 — the rest of the batch still applies.
+        """
+        if not isinstance(op, dict):
+            return {"status": 400, "error": "op must be an object"}
+        kind = op.get("op")
+        key = op.get("key")
+        if kind not in ("get", "put", "delete") or not isinstance(key, str) \
+                or not key:
+            return {"status": 400, "error": "need op in get/put/delete "
+                                            "and a non-empty key"}
+        if kind == "get":
+            with self.locks.for_key(key):
+                got = self.store.get(key)
+            if got is None:
+                return {"status": 404}
+            data, etag = got
+            return {"status": 200, "etag": etag,
+                    "data": base64.b64encode(data).decode("ascii")}
+        if kind == "put":
+            try:
+                data = base64.b64decode(str(op.get("data", "")),
+                                        validate=True)
+            except (binascii.Error, ValueError):
+                return {"status": 400, "error": "data must be base64"}
+            if_match = op.get("if_match")
+            with self.locks.for_key(key):
+                if op.get("if_none_match") == "*":
+                    etag = self.store.cas(key, data, if_match=None)
+                elif if_match is not None:
+                    etag = self.store.cas(key, data,
+                                          if_match=str(if_match))
+                else:
+                    etag = self.store.put(key, data)
+            if etag is None:
+                return {"status": 412}
+            return {"status": 200, "etag": etag}
+        if_match = op.get("if_match")
+        with self.locks.for_key(key):
+            existed = self.store.get(key) is not None
+            removed = self.store.delete(
+                key, if_match=str(if_match) if if_match is not None else None)
+        if removed:
+            return {"status": 204}
+        return {"status": 412 if existed else 404}
 
     def log_message(self, fmt: str, *args) -> None:  # noqa: D102
         if self.verbose:
@@ -152,18 +319,21 @@ class _BrokerHandler(BaseHTTPRequestHandler):
 
 def make_server(host: str = "127.0.0.1", port: int = 0,
                 data_dir: Optional[str] = None,
-                verbose: bool = False) -> ThreadingHTTPServer:
+                verbose: bool = False,
+                lock_stripes: int = DEFAULT_LOCK_STRIPES
+                ) -> ThreadingHTTPServer:
     """Build (but don't start) a broker HTTP server.
 
     ``port=0`` binds an ephemeral port (read it back from
     ``server.server_address``).  With ``data_dir`` the store is
     disk-backed and survives restarts; otherwise it is in-memory.
+    ``lock_stripes`` sizes the striped mutation-lock array.
     """
     store: QueueTransport = (FsTransport(data_dir) if data_dir
                              else MemoryTransport())
     handler = type("BoundBrokerHandler", (_BrokerHandler,), {
         "store": store,
-        "lock": threading.Lock(),
+        "locks": StripeLocks(lock_stripes),
         "verbose": verbose,
     })
     ThreadingHTTPServer.allow_reuse_address = True
@@ -187,10 +357,11 @@ class Broker:
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 data_dir: Optional[str] = None, verbose: bool = False):
+                 data_dir: Optional[str] = None, verbose: bool = False,
+                 lock_stripes: int = DEFAULT_LOCK_STRIPES):
         self._server = make_server(host=host, port=port,
                                    data_dir=str(data_dir) if data_dir else None,
-                                   verbose=verbose)
+                                   verbose=verbose, lock_stripes=lock_stripes)
         self.host, self.port = self._server.server_address[:2]
         self._thread: Optional[threading.Thread] = None
 
@@ -228,7 +399,8 @@ def main(argv: Optional[list] = None) -> int:
         prog="python -m repro.campaign.dist.server",
         description="HTTP broker for distributed campaign work queues "
                     "(S3-style GET/PUT/DELETE with ETag conditional "
-                    "requests; see docs/distributed.md).")
+                    "requests, /batch and paginated /list; see "
+                    "docs/distributed.md).")
     parser.add_argument("--host", default="127.0.0.1",
                         help="bind address (default 127.0.0.1; use 0.0.0.0 "
                              "to accept remote workers)")
@@ -239,12 +411,18 @@ def main(argv: Optional[list] = None) -> int:
                              "a broker restart resumes mid-campaign "
                              "(default: in-memory, state dies with the "
                              "process)")
+    parser.add_argument("--lock-stripes", type=int,
+                        default=DEFAULT_LOCK_STRIPES,
+                        help="number of striped mutation locks (default "
+                             f"{DEFAULT_LOCK_STRIPES}); mutations on "
+                             "different key prefixes proceed concurrently")
     parser.add_argument("--verbose", action="store_true",
                         help="log every request")
     args = parser.parse_args(argv)
 
     server = make_server(host=args.host, port=args.port,
-                         data_dir=args.data_dir, verbose=args.verbose)
+                         data_dir=args.data_dir, verbose=args.verbose,
+                         lock_stripes=args.lock_stripes)
     host, port = server.server_address[:2]
     backing = args.data_dir or "memory (volatile)"
     print(f"queue broker listening on http://{host}:{port} "

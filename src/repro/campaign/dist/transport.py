@@ -4,9 +4,9 @@ The distributed work queue (:class:`~repro.campaign.dist.queue.WorkQueue`)
 is a state machine over *opaque keys* holding small JSON documents, and
 the result cache (:class:`~repro.campaign.cache.TransportResultCache`) and
 persisted cost model ride the same seam — one storage contract carries a
-whole campaign's durable state.  This module defines that contract — five
-operations, modelled on an S3-style object store — and three
-implementations:
+whole campaign's durable state.  This module defines that contract —
+point operations modelled on an S3-style object store, plus batch and
+pagination primitives for throughput — and three implementations:
 
 * :class:`FsTransport` — keys are files under a root directory (the
   original shared-filesystem queue; any number of processes/hosts sharing
@@ -16,7 +16,8 @@ implementations:
 * :class:`HttpTransport` — keys served by the
   :mod:`repro.campaign.dist.server` broker over a minimal S3-style REST
   dialect (``GET``/``PUT``/``DELETE`` plus ``?prefix=`` listing), with
-  conditional ``PUT``/``DELETE`` via ``ETag``/``If-Match`` headers.
+  conditional ``PUT``/``DELETE`` via ``ETag``/``If-Match`` headers, over
+  a pooled keep-alive connection per thread.
 
 The contract
 ------------
@@ -39,6 +40,35 @@ The contract
 ``list(prefix)``
     Sorted keys beginning with ``prefix``.
 
+Batch and pagination primitives (defaulted on the base class as loops
+over the point operations, so third-party transports that implement only
+those keep working; overridden where a backend has something faster —
+``MemoryTransport`` runs each batch under one lock acquisition,
+``HttpTransport`` ships each batch as one ``/batch`` request and each
+listing as bounded pages, ``FsTransport`` batches directory creation in
+``put_many`` while its point-op loops are already native for a local
+filesystem):
+
+``get_many(keys)``
+    One ``get`` outcome per key, in order.  Over HTTP this is a single
+    ``/batch`` request instead of a round trip per key.
+``put_many(items)``
+    Each item is ``(key, data, condition)`` where ``condition`` carries
+    its own write condition: ``None`` → conditional create (the key must
+    not exist), an ETag string → conditional update, :data:`ANY` →
+    unconditional write.  Returns one ETag-or-``None`` (conflict) per
+    item, in order; items apply *in order*, so a caller's commit-point
+    sequencing survives batching.
+``delete_many(items)``
+    Each item is ``(key, if_match_or_None)``; returns one bool per item.
+``list_page(prefix, max_keys, start_after="")``
+    One page of the sorted listing: ``(keys, next_token)`` with at most
+    ``max_keys`` keys strictly greater than ``start_after``.
+    ``next_token`` is ``None`` on the final page, else the value to pass
+    as the next ``start_after``.  Continuation is *keyset*-based (the
+    token is the last key returned), so keys deleted or inserted between
+    pages never skip or repeat survivors.
+
 ETags are content-derived (:func:`etag_of`, a SHA-256 of the bytes): two
 writes of identical bytes share an ETag on every transport, and a broker
 restart cannot invalidate leases held by workers — the satellite property
@@ -50,23 +80,46 @@ deletes are read-check-write — racy by nature of POSIX.  The queue is
 designed so that every ``If-Match`` race degrades to a re-executed job
 (results are content-derived, so re-execution is harmless), never to a
 lost one.  ``MemoryTransport`` and the HTTP broker serialize mutations
-under a lock, so for them every conditional operation is exact.
+under a lock (striped by key prefix on the broker), so for them every
+conditional operation is exact.  Batches are *not* transactions: each
+item succeeds or conflicts individually.
 """
 
 from __future__ import annotations
 
-import hashlib
+import base64
+import binascii
 import http.client
+import hashlib
 import os
+import socket
 import threading
 import time
-import urllib.error
 import urllib.parse
-import urllib.request
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.campaign.jsonio import atomic_write_bytes, read_bytes_or_none
+from repro.campaign.jsonio import (
+    atomic_write_bytes,
+    json_dumps_bytes,
+    json_loads_or_none,
+    read_bytes_or_none,
+)
+
+#: ``put_many`` condition meaning *unconditional write* (no If-Match /
+#: If-None-Match).  A plain ``"*"`` so it survives JSON serialization in
+#: the ``/batch`` wire format; it can never collide with a real ETag
+#: (ETags are 32 lowercase hex characters).
+ANY = "*"
+
+#: Operations shipped per ``/batch`` request.  Bounds request bodies (a
+#: 10k-job enqueue is a handful of requests, not one giant one) while
+#: keeping the round-trip count two orders below per-key operations.
+_BATCH_CHUNK = 256
+
+#: Page size :meth:`HttpTransport.list` uses when reassembling a full
+#: listing from ``/list`` pages.
+_LIST_PAGE = 1000
 
 
 class TransportError(Exception):
@@ -99,12 +152,17 @@ def etag_of(data: bytes) -> str:
 class QueueTransport:
     """Abstract storage contract; see the module docstring for semantics.
 
-    Subclasses must implement the five operations and may advertise an
-    ``address`` — a string another *process* can use to reach the same
+    Subclasses must implement the five point operations and may advertise
+    an ``address`` — a string another *process* can use to reach the same
     store (a directory path, an ``http://`` URL).  ``address`` is ``None``
     for in-process-only transports, which tells
     :class:`~repro.campaign.dist.executor.DistributedExecutor` to run its
     fleet as threads instead of spawned worker processes.
+
+    The batch/pagination methods have loop-based defaults here, so a
+    third-party transport that predates them keeps working; the built-in
+    transports override them with native implementations (one lock
+    acquisition, one HTTP request, one directory walk).
     """
 
     #: How a separate worker process addresses this store (``--queue`` arg);
@@ -135,14 +193,52 @@ class QueueTransport:
         """Sorted keys beginning with ``prefix``."""
         raise NotImplementedError
 
+    # -- batch / pagination defaults ---------------------------------------
+    def get_many(self, keys: Sequence[str]
+                 ) -> List[Optional[Tuple[bytes, str]]]:
+        """One :meth:`get` outcome per key, in order."""
+        return [self.get(key) for key in keys]
+
+    def put_many(self, items: Sequence[Tuple[str, bytes, Optional[str]]]
+                 ) -> List[Optional[str]]:
+        """Apply ``(key, data, condition)`` writes *in order*; one
+        ETag-or-``None`` per item.  ``condition`` is ``None`` (create),
+        an ETag (update) or :data:`ANY` (unconditional)."""
+        out: List[Optional[str]] = []
+        for key, data, condition in items:
+            if condition == ANY:
+                out.append(self.put(key, data))
+            else:
+                out.append(self.cas(key, data, if_match=condition))
+        return out
+
+    def delete_many(self, items: Sequence[Tuple[str, Optional[str]]]
+                    ) -> List[bool]:
+        """Apply ``(key, if_match)`` deletes in order; one bool per item."""
+        return [self.delete(key, if_match=if_match)
+                for key, if_match in items]
+
+    def list_page(self, prefix: str, max_keys: int,
+                  start_after: str = "") -> Tuple[List[str], Optional[str]]:
+        """One sorted page of at most ``max_keys`` keys after
+        ``start_after``; ``(keys, next_token)`` with ``next_token=None``
+        on the final page."""
+        max_keys = max(1, int(max_keys))
+        keys = [key for key in self.list(prefix) if key > start_after]
+        page = keys[:max_keys]
+        if len(keys) > max_keys:
+            return page, page[-1]
+        return page, None
+
 
 class MemoryTransport(QueueTransport):
     """In-process store: a dict under a lock.
 
     The reference implementation of the contract — every conditional
-    operation is exact — and the fastest one, for unit tests and
-    single-host thread fleets (``DistributedExecutor`` runs worker threads
-    when the transport has no ``address``).
+    operation is exact, and every batch runs under *one* lock acquisition
+    — and the fastest one, for unit tests and single-process thread
+    fleets (``DistributedExecutor`` runs worker threads when the
+    transport has no ``address``).
 
     >>> t = MemoryTransport()
     >>> tag = t.put("a/1", b"one")
@@ -158,6 +254,23 @@ class MemoryTransport(QueueTransport):
     False
     >>> t.delete("a/1")
     True
+
+    Batch primitives carry a per-item condition (``None`` create, ETag
+    update, :data:`ANY` unconditional) and apply in order:
+
+    >>> tags = t.put_many([("b/1", b"x", None), ("b/1", b"y", None),
+    ...                    ("b/2", b"z", ANY)])
+    >>> [tag is not None for tag in tags]
+    [True, False, True]
+    >>> t.get_many(["b/1", "b/2", "b/3"]) == [
+    ...     (b"x", etag_of(b"x")), (b"z", etag_of(b"z")), None]
+    True
+    >>> t.list_page("b/", max_keys=1)
+    (['b/1'], 'b/1')
+    >>> t.list_page("b/", max_keys=1, start_after="b/1")
+    (['b/2'], None)
+    >>> t.delete_many([("b/1", "stale"), ("b/2", None)])
+    [False, True]
     """
 
     address = None
@@ -179,28 +292,72 @@ class MemoryTransport(QueueTransport):
     def cas(self, key: str, data: bytes,
             if_match: Optional[str]) -> Optional[str]:
         with self._lock:
-            current = self._data.get(key)
-            if if_match is None:
-                if current is not None:
-                    return None
-            elif current is None or etag_of(current) != if_match:
+            return self._cas_locked(key, data, if_match)
+
+    def _cas_locked(self, key: str, data: bytes,
+                    if_match: Optional[str]) -> Optional[str]:
+        current = self._data.get(key)
+        if if_match is None:
+            if current is not None:
                 return None
-            self._data[key] = data
+        elif current is None or etag_of(current) != if_match:
+            return None
+        self._data[key] = data
         return etag_of(data)
 
     def delete(self, key: str, if_match: Optional[str] = None) -> bool:
         with self._lock:
-            current = self._data.get(key)
-            if current is None:
-                return False
-            if if_match is not None and etag_of(current) != if_match:
-                return False
-            del self._data[key]
+            return self._delete_locked(key, if_match)
+
+    def _delete_locked(self, key: str, if_match: Optional[str]) -> bool:
+        current = self._data.get(key)
+        if current is None:
+            return False
+        if if_match is not None and etag_of(current) != if_match:
+            return False
+        del self._data[key]
         return True
 
     def list(self, prefix: str) -> List[str]:
         with self._lock:
             return sorted(k for k in self._data if k.startswith(prefix))
+
+    # -- native batches: one lock acquisition each -------------------------
+    def get_many(self, keys: Sequence[str]
+                 ) -> List[Optional[Tuple[bytes, str]]]:
+        with self._lock:
+            found = [self._data.get(key) for key in keys]
+        return [None if data is None else (data, etag_of(data))
+                for data in found]
+
+    def put_many(self, items: Sequence[Tuple[str, bytes, Optional[str]]]
+                 ) -> List[Optional[str]]:
+        out: List[Optional[str]] = []
+        with self._lock:
+            for key, data, condition in items:
+                if condition == ANY:
+                    self._data[key] = data
+                    out.append(etag_of(data))
+                else:
+                    out.append(self._cas_locked(key, data, condition))
+        return out
+
+    def delete_many(self, items: Sequence[Tuple[str, Optional[str]]]
+                    ) -> List[bool]:
+        with self._lock:
+            return [self._delete_locked(key, if_match)
+                    for key, if_match in items]
+
+    def list_page(self, prefix: str, max_keys: int,
+                  start_after: str = "") -> Tuple[List[str], Optional[str]]:
+        max_keys = max(1, int(max_keys))
+        with self._lock:
+            keys = sorted(k for k in self._data
+                          if k.startswith(prefix) and k > start_after)
+        page = keys[:max_keys]
+        if len(keys) > max_keys:
+            return page, page[-1]
+        return page, None
 
     def __repr__(self) -> str:
         return f"MemoryTransport(keys={len(self._data)})"
@@ -215,7 +372,9 @@ class FsTransport(QueueTransport):
     concurrent creator wins), with an ``O_CREAT|O_EXCL`` fallback on
     filesystems without hard links.  ``If-Match`` updates/deletes are
     read-check-write — see the module docstring for why that is sufficient
-    for the queue.
+    for the queue.  Batches are loops with per-batch bookkeeping (parent
+    directories created once); there is no syscall-level batching to
+    exploit.
     """
 
     def __init__(self, root: os.PathLike):
@@ -332,23 +491,80 @@ class FsTransport(QueueTransport):
                     keys.append(key)
         return sorted(keys)
 
+    # -- batches -----------------------------------------------------------
+    # There is no syscall-level batching to exploit: the base-class loops
+    # over get/delete *are* the native filesystem implementation.  Only
+    # put_many is overridden, to create each parent directory once per
+    # batch instead of once per op.
+    def put_many(self, items: Sequence[Tuple[str, bytes, Optional[str]]]
+                 ) -> List[Optional[str]]:
+        out: List[Optional[str]] = []
+        made_dirs = set()
+        for key, data, condition in items:
+            path = self._path(key)
+            try:
+                if path.parent not in made_dirs:
+                    path.parent.mkdir(parents=True, exist_ok=True)
+                    made_dirs.add(path.parent)
+                if condition == ANY:
+                    atomic_write_bytes(path, data)
+                    out.append(etag_of(data))
+                elif condition is None:
+                    out.append(self._create_exclusive(path, data))
+                else:
+                    current = read_bytes_or_none(path)
+                    if current is None or etag_of(current) != condition:
+                        out.append(None)
+                    else:
+                        atomic_write_bytes(path, data)
+                        out.append(etag_of(data))
+            except OSError as exc:
+                raise TransportError(f"cannot write {path}: {exc}",
+                                     address=self.address) from exc
+        return out
+
     def __repr__(self) -> str:
         return f"FsTransport({str(self.root)!r})"
+
+
+class _ConnectionDropped(Exception):
+    """A pooled HTTP connection failed mid-exchange (internal signal).
+
+    ``reused`` distinguishes a *stale keep-alive socket* — the server
+    closed an idle pooled connection between our requests, the normal
+    hazard of connection reuse — from a connection that failed on its
+    very first use (a genuinely unreachable broker)."""
+
+    def __init__(self, error: Exception, reused: bool):
+        super().__init__(str(error))
+        self.error = error
+        self.reused = reused
 
 
 class HttpTransport(QueueTransport):
     """Client of the :mod:`repro.campaign.dist.server` broker.
 
-    Speaks a minimal S3-style REST dialect over stdlib ``urllib``:
+    Speaks a minimal S3-style REST dialect over a **pooled keep-alive**
+    ``http.client.HTTPConnection`` (one per thread, reconnected
+    transparently when it goes stale — the broker speaks HTTP/1.1, so the
+    same TCP connection carries the whole campaign instead of paying a
+    connect/teardown per request):
 
     * ``GET /k/<key>`` → body + ``ETag`` header (404 when absent);
     * ``PUT /k/<key>`` with ``If-None-Match: *`` (create) or
       ``If-Match: <etag>`` (update) → 412 on conflict;
     * ``DELETE /k/<key>`` with optional ``If-Match``;
-    * ``GET /list?prefix=<p>`` → JSON ``{"keys": [...]}``.
+    * ``GET /list?prefix=<p>[&max-keys=<n>&start-after=<k>]`` → JSON
+      ``{"keys": [...], "truncated": bool, "next": <token>}``;
+    * ``POST /batch`` → per-op statuses (see :meth:`get_many` /
+      :meth:`put_many` / :meth:`delete_many`), one round trip for up to
+      ``_BATCH_CHUNK`` conditional operations.
 
-    Transient connection failures (broker restarting, network blip) are
-    retried with exponential backoff; once ``retries`` are exhausted a
+    A request that fails on a *reused* pooled socket (the server closed
+    an idle keep-alive connection — e.g. a broker restart between
+    requests) is retried once on a fresh connection without consuming a
+    retry attempt; transient connection failures beyond that are retried
+    with exponential backoff, and once ``retries`` are exhausted a
     :class:`TransportError` is raised, which workers turn into a clean
     exit code.  Because ETags are content hashes, leases held across a
     broker restart remain valid — the broker's disk-backed store restores
@@ -362,47 +578,115 @@ class HttpTransport(QueueTransport):
         self.retry_delay = retry_delay
         self.timeout = timeout
         self.address = self.base_url
+        parsed = urllib.parse.urlsplit(self.base_url)
+        self._https = parsed.scheme == "https"
+        self._host = parsed.hostname or ""
+        self._port = parsed.port
+        self._prefix = parsed.path.rstrip("/")
+        self._local = threading.local()
 
-    # -- request plumbing --------------------------------------------------
-    def _url(self, key: str) -> str:
-        return f"{self.base_url}/k/{urllib.parse.quote(key)}"
+    # -- connection pooling ------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        """This thread's pooled connection, created on first use."""
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            maker = (http.client.HTTPSConnection if self._https
+                     else http.client.HTTPConnection)
+            conn = maker(self._host, self._port, timeout=self.timeout)
+            conn.connect()
+            # TCP_NODELAY: a PUT's headers and body leave as two writes;
+            # under Nagle the body would stall behind the peer's delayed
+            # ACK (~40ms), erasing everything connection reuse buys.
+            conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._local.conn = conn
+            self._local.used = False
+        return conn
 
-    def _request(self, method: str, url: str, data: Optional[bytes] = None,
-                 headers: Optional[Dict[str, str]] = None):
-        """One HTTP exchange with retry-on-connection-failure.
+    def _discard_connection(self) -> None:
+        """Drop this thread's pooled connection (stale or poisoned)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+        self._local.conn = None
+
+    def _exchange(self, method: str, path: str, data: Optional[bytes],
+                  headers: Optional[Dict[str, str]]):
+        """One request/response on the pooled connection.
+
+        Returns ``(status, body, etag)``; raises :class:`_ConnectionDropped`
+        on any connection-level failure (the connection is discarded)."""
+        reused = getattr(self._local, "conn", None) is not None \
+            and bool(getattr(self._local, "used", False))
+        try:
+            conn = self._connection()
+            conn.request(method, path, body=data, headers=dict(headers or {}))
+            response = conn.getresponse()
+            body = response.read()
+        except (http.client.HTTPException, ConnectionError, TimeoutError,
+                OSError) as exc:
+            self._discard_connection()
+            raise _ConnectionDropped(exc, reused) from exc
+        self._local.used = True
+        etag = response.headers.get("ETag", "") or ""
+        if response.will_close:
+            # The server announced Connection: close — do not pool a
+            # connection the peer is about to tear down.
+            self._discard_connection()
+        return response.status, body, etag
+
+    def _request(self, method: str, path: str, data: Optional[bytes] = None,
+                 headers: Optional[Dict[str, str]] = None,
+                 idempotent: Optional[bool] = None):
+        """One HTTP exchange with stale-socket reconnect and retries.
 
         Returns ``(status, body, etag)``.  4xx responses are returned (the
-        caller maps 404/412 to contract results); connection-level
-        failures retry, then raise :class:`TransportError`.
+        caller maps 404/412 to contract results).  An *idempotent* request
+        (GET/LIST, or a ``/batch`` of gets — defaulting to "method is
+        GET", overridable per call) that fails on a reused keep-alive
+        socket gets one immediate free retry on a fresh connection: the
+        server closing an idle pooled connection is the normal hazard of
+        reuse, not a down broker.  Non-idempotent requests never get the
+        free retry — a conditional PUT whose response was lost may have
+        been applied, and silently re-sending it would misreport the
+        outcome as a conflict; they (like all remaining connection-level
+        failures) consume backoff retries, whose semantics callers
+        already handle (see :meth:`~repro.campaign.dist.queue.WorkQueue.
+        claim`'s own-write check).  Exhausted retries raise
+        :class:`TransportError`.
         """
+        if idempotent is None:
+            idempotent = method == "GET"
         last_error: Optional[Exception] = None
         for attempt in range(self.retries + 1):
-            request = urllib.request.Request(url, data=data, method=method,
-                                             headers=dict(headers or {}))
             try:
-                with urllib.request.urlopen(request,
-                                            timeout=self.timeout) as response:
-                    body = response.read()
-                    return (response.status, body,
-                            response.headers.get("ETag", ""))
-            except urllib.error.HTTPError as exc:
-                # A well-formed broker response (404, 412, ...) — not a
-                # connectivity problem, no retry.
-                body = exc.read()
-                return exc.code, body, exc.headers.get("ETag", "")
-            except (urllib.error.URLError, http.client.HTTPException,
-                    ConnectionError, TimeoutError, OSError) as exc:
-                last_error = exc
-                if attempt < self.retries:
-                    time.sleep(self.retry_delay * (2 ** attempt))
+                return self._exchange(method, path, data, headers)
+            except _ConnectionDropped as dropped:
+                last_error = dropped.error
+                if dropped.reused and idempotent:
+                    # Stale pooled socket, not a down broker: the retry on
+                    # a fresh connection is free (does not burn a backoff
+                    # attempt), so even retries=0 transports survive
+                    # keep-alive churn on their read paths.
+                    try:
+                        return self._exchange(method, path, data, headers)
+                    except _ConnectionDropped as again:
+                        last_error = again.error
+            if attempt < self.retries:
+                time.sleep(self.retry_delay * (2 ** attempt))
         raise TransportError(
             f"broker unreachable at {self.base_url} after "
             f"{self.retries + 1} attempts: {last_error}",
             address=self.base_url)
 
+    def _key_path(self, key: str) -> str:
+        return f"{self._prefix}/k/{urllib.parse.quote(key)}"
+
     # -- the contract ------------------------------------------------------
     def get(self, key: str) -> Optional[Tuple[bytes, str]]:
-        status, body, etag = self._request("GET", self._url(key))
+        status, body, etag = self._request("GET", self._key_path(key))
         if status == 404:
             return None
         if status != 200:
@@ -411,7 +695,7 @@ class HttpTransport(QueueTransport):
         return body, etag
 
     def put(self, key: str, data: bytes) -> str:
-        status, _, etag = self._request("PUT", self._url(key), data=data)
+        status, _, etag = self._request("PUT", self._key_path(key), data=data)
         if status not in (200, 201):
             raise TransportError(f"PUT {key}: unexpected status {status}",
                                  address=self.base_url)
@@ -421,7 +705,7 @@ class HttpTransport(QueueTransport):
             if_match: Optional[str]) -> Optional[str]:
         headers = ({"If-None-Match": "*"} if if_match is None
                    else {"If-Match": if_match})
-        status, _, etag = self._request("PUT", self._url(key), data=data,
+        status, _, etag = self._request("PUT", self._key_path(key), data=data,
                                         headers=headers)
         if status == 412:
             return None
@@ -432,7 +716,7 @@ class HttpTransport(QueueTransport):
 
     def delete(self, key: str, if_match: Optional[str] = None) -> bool:
         headers = {} if if_match is None else {"If-Match": if_match}
-        status, _, _ = self._request("DELETE", self._url(key),
+        status, _, _ = self._request("DELETE", self._key_path(key),
                                      headers=headers)
         if status in (404, 412):
             return False
@@ -442,17 +726,145 @@ class HttpTransport(QueueTransport):
         return True
 
     def list(self, prefix: str) -> List[str]:
-        url = (f"{self.base_url}/list?"
-               f"{urllib.parse.urlencode({'prefix': prefix})}")
-        status, body, _ = self._request("GET", url)
+        """Full listing, reassembled from bounded ``/list`` pages so one
+        giant keyspace never ships as one giant response."""
+        keys: List[str] = []
+        start_after = ""
+        while True:
+            page, token = self.list_page(prefix, _LIST_PAGE,
+                                         start_after=start_after)
+            keys.extend(page)
+            if token is None:
+                return keys
+            start_after = token
+
+    def list_page(self, prefix: str, max_keys: int,
+                  start_after: str = "") -> Tuple[List[str], Optional[str]]:
+        query = {"prefix": prefix, "max-keys": max(1, int(max_keys))}
+        if start_after:
+            query["start-after"] = start_after
+        status, body, _ = self._request(
+            "GET", f"{self._prefix}/list?{urllib.parse.urlencode(query)}")
         if status != 200:
             raise TransportError(f"LIST {prefix}: unexpected status {status}",
                                  address=self.base_url)
-        from repro.campaign.jsonio import json_loads_or_none
-
         payload = json_loads_or_none(body) or {}
-        keys = payload.get("keys", [])
-        return sorted(str(key) for key in keys)
+        keys = [str(key) for key in payload.get("keys", [])]
+        if not payload.get("truncated"):
+            return keys, None
+        token = payload.get("next") or (keys[-1] if keys else None)
+        return keys, (str(token) if token is not None else None)
+
+    # -- native batches: one /batch request per _BATCH_CHUNK ops -----------
+    def _batch(self, ops: List[Dict[str, object]]) -> List[Dict[str, object]]:
+        # A batch of nothing but gets is idempotent and earns the free
+        # stale-socket retry (get_many is the claim scan's hot probe);
+        # any mutation in the batch forfeits it.
+        reads_only = all(op.get("op") == "get" for op in ops)
+        results: List[Dict[str, object]] = []
+        for start in range(0, len(ops), _BATCH_CHUNK):
+            chunk = ops[start:start + _BATCH_CHUNK]
+            status, body, _ = self._request(
+                "POST", f"{self._prefix}/batch",
+                data=json_dumps_bytes({"ops": chunk}),
+                headers={"Content-Type": "application/json"},
+                idempotent=reads_only)
+            if status != 200:
+                raise TransportError(
+                    f"BATCH: unexpected status {status}",
+                    address=self.base_url)
+            payload = json_loads_or_none(body) or {}
+            outcomes = payload.get("results")
+            if not isinstance(outcomes, list) or len(outcomes) != len(chunk):
+                raise TransportError(
+                    "BATCH: malformed response (op/result count mismatch)",
+                    address=self.base_url)
+            results.extend(outcomes)
+        return results
+
+    def get_many(self, keys: Sequence[str]
+                 ) -> List[Optional[Tuple[bytes, str]]]:
+        keys = list(keys)
+        if not keys:
+            return []
+        outcomes = self._batch([{"op": "get", "key": key} for key in keys])
+        out: List[Optional[Tuple[bytes, str]]] = []
+        for key, res in zip(keys, outcomes):
+            status = res.get("status") if isinstance(res, dict) else None
+            if status == 404:
+                out.append(None)
+            elif status == 200:
+                try:
+                    data = base64.b64decode(str(res.get("data", "")))
+                except (binascii.Error, ValueError) as exc:
+                    raise TransportError(
+                        f"batch GET {key}: undecodable payload",
+                        address=self.base_url) from exc
+                out.append((data, str(res.get("etag", ""))))
+            else:
+                raise TransportError(
+                    f"batch GET {key}: unexpected status {status}",
+                    address=self.base_url)
+        return out
+
+    def put_many(self, items: Sequence[Tuple[str, bytes, Optional[str]]]
+                 ) -> List[Optional[str]]:
+        items = list(items)
+        if not items:
+            return []
+        ops: List[Dict[str, object]] = []
+        for key, data, condition in items:
+            op: Dict[str, object] = {
+                "op": "put", "key": key,
+                "data": base64.b64encode(data).decode("ascii")}
+            if condition is None:
+                op["if_none_match"] = "*"
+            elif condition != ANY:
+                op["if_match"] = condition
+            ops.append(op)
+        outcomes = self._batch(ops)
+        out: List[Optional[str]] = []
+        for (key, _, _), res in zip(items, outcomes):
+            status = res.get("status") if isinstance(res, dict) else None
+            if status == 412:
+                out.append(None)
+            elif status in (200, 201):
+                out.append(str(res.get("etag", "")))
+            else:
+                raise TransportError(
+                    f"batch PUT {key}: unexpected status {status}",
+                    address=self.base_url)
+        return out
+
+    def delete_many(self, items: Sequence[Tuple[str, Optional[str]]]
+                    ) -> List[bool]:
+        items = list(items)
+        if not items:
+            return []
+        ops = []
+        for key, if_match in items:
+            op: Dict[str, object] = {"op": "delete", "key": key}
+            if if_match is not None:
+                op["if_match"] = if_match
+            ops.append(op)
+        outcomes = self._batch(ops)
+        out: List[bool] = []
+        for (key, _), res in zip(items, outcomes):
+            status = res.get("status") if isinstance(res, dict) else None
+            if status in (200, 204):
+                out.append(True)
+            elif status in (404, 412):
+                out.append(False)
+            else:
+                raise TransportError(
+                    f"batch DELETE {key}: unexpected status {status}",
+                    address=self.base_url)
+        return out
+
+    def close(self) -> None:
+        """Release this thread's pooled connection (other threads' pooled
+        connections are dropped when their threads exit)."""
+        self._discard_connection()
 
     def __repr__(self) -> str:
         return f"HttpTransport({self.base_url!r})"

@@ -211,22 +211,23 @@ def test_clear_and_len_touch_only_entries(cache):
 
 
 def test_get_many_probes_in_batches_not_per_job():
-    """The campaign probe loop must not pay one round trip per job: cold
-    keys are established absent from shard listings alone, and only
-    present keys are fetched."""
+    """The campaign probe loop must not pay one round trip per job: the
+    whole grid's probes travel through the transport's batch primitive
+    (one ``/batch`` request per chunk over the broker), never per-key
+    ``get`` calls."""
     class CountingTransport(MemoryTransport):
         def __init__(self):
             super().__init__()
             self.gets = 0
-            self.lists = 0
+            self.batches = 0
 
         def get(self, key):
             self.gets += 1
             return super().get(key)
 
-        def list(self, prefix):
-            self.lists += 1
-            return super().list(prefix)
+        def get_many(self, keys):
+            self.batches += 1
+            return super().get_many(keys)
 
     transport = CountingTransport()
     cache = TransportResultCache(transport)
@@ -234,16 +235,17 @@ def test_get_many_probes_in_batches_not_per_job():
 
     cold = cache.get_many(jobs)
     assert cold == [None] * len(jobs)
-    assert transport.gets == 0           # absent keys: no per-key reads
-    assert transport.lists <= len(jobs)  # one listing per distinct shard
+    assert transport.gets == 0      # no per-key round trips
+    assert transport.batches == 1   # the whole grid in one batch
     assert cache.misses == len(jobs)
 
     for job in jobs:
         cache.put(job, _record(job))
-    transport.gets = transport.lists = 0
+    transport.gets = transport.batches = 0
     warm = cache.get_many(jobs)
     assert all(record is not None for record in warm)
-    assert transport.gets == len(jobs)   # fetched exactly the present keys
+    assert transport.gets == 0
+    assert transport.batches == 1
     assert cache.hits == len(jobs)
 
 

@@ -99,6 +99,235 @@ def test_etags_are_content_derived_across_transports(transport):
     assert transport.put("claims/x.json", data) == etag_of(data)
 
 
+# -- batch primitives --------------------------------------------------------
+
+def test_get_many_preserves_order_and_absence(transport):
+    tag_a = transport.put("b/a.json", b"A")
+    tag_c = transport.put("b/c.json", b"C")
+    got = transport.get_many(["b/c.json", "b/missing.json", "b/a.json"])
+    assert got == [(b"C", tag_c), None, (b"A", tag_a)]
+    assert transport.get_many([]) == []
+
+
+def test_put_many_applies_per_item_conditions_in_order(transport):
+    from repro.campaign.dist.transport import ANY
+
+    tag = transport.put("c/k.json", b"v1")
+    outcomes = transport.put_many([
+        ("c/new.json", b"n", None),      # create: key absent -> wins
+        ("c/new.json", b"x", None),      # create: now present -> conflict
+        ("c/k.json", b"v2", tag),        # update at the current etag
+        ("c/k.json", b"v3", "stale"),    # update at a stale etag
+        ("c/any.json", b"a", ANY),       # unconditional
+    ])
+    assert outcomes[0] == etag_of(b"n")
+    assert outcomes[1] is None
+    assert outcomes[2] == etag_of(b"v2")
+    assert outcomes[3] is None
+    assert outcomes[4] == etag_of(b"a")
+    assert transport.get("c/new.json")[0] == b"n"
+    assert transport.get("c/k.json")[0] == b"v2"
+
+
+def test_delete_many_is_conditional_per_item(transport):
+    tag = transport.put("d/a.json", b"A")
+    transport.put("d/b.json", b"B")
+    assert transport.delete_many([
+        ("d/a.json", "stale"),   # condition fails, key survives
+        ("d/b.json", None),      # unconditional
+        ("d/missing.json", None),
+        ("d/a.json", tag),       # right etag now
+    ]) == [False, True, False, True]
+    assert transport.list("d/") == []
+
+
+# -- pagination --------------------------------------------------------------
+
+def test_list_page_of_empty_prefix(transport):
+    page, token = transport.list_page("nothing/", 5)
+    assert page == []
+    assert token is None
+
+
+def test_list_page_prefix_straddling_page_boundaries(transport):
+    """A prefix whose keys span several pages walks out exactly, in
+    order, and never leaks neighboring prefixes into any page."""
+    wanted = [f"p/{i:02d}.json" for i in range(5)]
+    for key in wanted + ["o/x.json", "q/x.json"]:
+        transport.put(key, b"{}")
+    walked, start_after, pages = [], "", 0
+    while True:
+        page, token = transport.list_page("p/", 2, start_after=start_after)
+        assert len(page) <= 2
+        assert all(key.startswith("p/") for key in page)
+        walked.extend(page)
+        pages += 1
+        if token is None:
+            break
+        start_after = token
+    assert walked == wanted
+    assert pages >= 3
+    assert walked == sorted(walked)
+
+
+def test_list_page_keys_deleted_between_pages(transport):
+    """Keyset continuation: deleting keys between page fetches — behind
+    the cursor or just ahead of it — never skips a surviving key."""
+    for i in range(6):
+        transport.put(f"p/{i}.json", b"{}")
+    page1, token = transport.list_page("p/", 2)
+    assert page1 == ["p/0.json", "p/1.json"]
+    transport.delete("p/0.json")  # behind the cursor
+    transport.delete("p/2.json")  # the key the next page would start with
+    page2, token = transport.list_page("p/", 2, start_after=token)
+    assert page2 == ["p/3.json", "p/4.json"]
+    page3, token = transport.list_page("p/", 2, start_after=token)
+    assert page3 == ["p/5.json"]
+    assert token is None
+
+
+def test_pagination_semantics_agree_across_transports(tmp_path):
+    """Memory, filesystem and broker walk an identical keyspace into the
+    identical page/token sequence — the property that lets WorkQueue and
+    the cache treat the backends interchangeably."""
+    keys = ([f"pending/{i:03d}-job{i}.json" for i in range(7)]
+            + ["queue.json", "claims/000-job0.json"])
+    stores = [MemoryTransport(), FsTransport(tmp_path / "fs-pages")]
+    broker = Broker().start()
+    try:
+        stores.append(HttpTransport(broker.url, retries=1))
+        walks = []
+        for store in stores:
+            for key in keys:
+                store.put(key, b"{}")
+            walk, start_after = [], ""
+            while True:
+                page, token = store.list_page("pending/", 3,
+                                              start_after=start_after)
+                walk.append((tuple(page), token))
+                if token is None:
+                    break
+                start_after = token
+            walks.append(walk)
+        assert walks[0] == walks[1] == walks[2]
+        assert [key for pages in walks[0] for key in pages[0]] == sorted(
+            key for key in keys if key.startswith("pending/"))
+    finally:
+        broker.stop()
+
+
+def test_batch_malformed_ops_fail_per_op_not_per_batch():
+    """One bad op in a /batch body gets its own 400; the ops around it
+    still apply — a batch is many independent conditional ops, not a
+    transaction."""
+    import json
+    import urllib.request
+
+    broker = Broker().start()
+    try:
+        body = json.dumps({"ops": [
+            {"op": "put", "key": "a.json", "data": "e30="},  # {}
+            {"op": "frobnicate", "key": "b.json"},
+            {"op": "put", "key": "c.json", "data": "not base64!!"},
+            {"op": "get", "key": "a.json"},
+        ]}).encode()
+        request = urllib.request.Request(
+            f"{broker.url}/batch", data=body, method="POST")
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            payload = json.loads(response.read())
+        statuses = [res["status"] for res in payload["results"]]
+        assert statuses == [200, 400, 400, 200]
+        transport = HttpTransport(broker.url, retries=1)
+        assert transport.get("a.json")[0] == b"{}"
+        assert transport.get("c.json") is None
+    finally:
+        broker.stop()
+
+
+def test_stripe_locks_are_stable_per_prefix():
+    """All keys of one top-level prefix share a stripe (mutations on one
+    key always serialize), and the mapping is deterministic."""
+    from repro.campaign.dist.server import StripeLocks
+
+    locks = StripeLocks(8)
+    assert len(locks) == 8
+    assert (locks.for_key("pending/000-a.json")
+            is locks.for_key("pending/999-z.json"))
+    assert locks.for_key("queue.json") is locks.for_key("queue.json")
+    distinct = {id(locks.for_key(f"{prefix}/x.json"))
+                for prefix in ("jobs", "pending", "claims", "results",
+                               "done", "dead", "ab", "cd")}
+    assert len(distinct) > 1  # prefixes actually spread across stripes
+
+
+# -- keep-alive connection reuse ---------------------------------------------
+
+def _closing_broker() -> Broker:
+    """A broker that closes the TCP connection after *every* response —
+    without announcing it (no ``Connection: close`` header), so a pooled
+    client discovers the close only when its next request fails."""
+    broker = Broker()
+    handler = broker._server.RequestHandlerClass
+    original_reply = handler._reply
+
+    def closing_reply(self, *args, **kwargs):
+        original_reply(self, *args, **kwargs)
+        self.close_connection = True  # unannounced: client keeps pooling
+
+    handler._reply = closing_reply
+    return broker
+
+
+def test_idempotent_requests_survive_stale_pooled_sockets():
+    """Satellite regression: with keep-alive pooling, a mid-request drop
+    on a *reused* socket must not surface as a hard TransportError —
+    idempotent GET/LIST (and all-get /batch probes) retry once on a
+    fresh connection.  ``retries=0`` proves the reconnect is the free
+    stale-socket retry, not backoff."""
+    broker = _closing_broker().start()
+    try:
+        transport = HttpTransport(broker.url, retries=0, retry_delay=0.0)
+        tag = transport.put("k.json", b"v")  # fresh socket; server closes
+        for _ in range(3):  # every request now rides a stale pooled socket
+            assert transport.get("k.json") == (b"v", tag)
+        assert transport.list("") == ["k.json"]
+        assert transport.list_page("", 10) == (["k.json"], None)
+        assert transport.get_many(["k.json", "nope.json"]) == [
+            (b"v", tag), None]
+    finally:
+        broker.stop()
+
+
+def test_mutations_on_stale_sockets_use_backoff_retries_only():
+    """A write whose response was lost may already have been applied, so
+    re-sending it silently would misreport the outcome (a conditional
+    PUT would see its own write as a conflict).  Mutations therefore get
+    no free stale-socket retry — with ``retries=0`` they surface the
+    drop, and with a backoff budget they go through the retry path whose
+    semantics the queue already handles (own-write check in claim)."""
+    broker = _closing_broker().start()
+    try:
+        strict = HttpTransport(broker.url, retries=0, retry_delay=0.0)
+        strict.put("k.json", b"v1")  # fresh socket; server closes after
+        with pytest.raises(TransportError, match="unreachable"):
+            strict.put("k.json", b"v2")  # stale socket, no free retry
+        retrying = HttpTransport(broker.url, retries=2, retry_delay=0.0)
+        retrying.get("k.json")  # pool + stale a connection
+        assert retrying.put("k.json", b"v3") == etag_of(b"v3")  # via backoff
+        assert retrying.get("k.json")[0] == b"v3"
+    finally:
+        broker.stop()
+
+
+def test_first_contact_failures_still_raise_after_retries():
+    """The stale-socket retry must not mask a genuinely dead broker: a
+    connection that fails on *first* use gets no free retry."""
+    transport = HttpTransport("http://127.0.0.1:1", retries=0,
+                              retry_delay=0.0)
+    with pytest.raises(TransportError, match="unreachable"):
+        transport.get("k.json")
+
+
 # -- CAS conflict on simultaneous claim -------------------------------------
 
 def test_simultaneous_claims_have_exactly_one_winner(transport):
