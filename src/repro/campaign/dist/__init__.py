@@ -12,8 +12,12 @@ that any mix of threads, processes and hosts can participate in:
   MemoryTransport` (in-process, thread fleets) and
   :class:`~repro.campaign.dist.transport.HttpTransport` (S3-style REST
   against the :mod:`repro.campaign.dist.server` broker,
-  ``python -m repro.campaign.dist.server``).  The result cache and the
-  persisted cost model ride the same contract
+  ``python -m repro.campaign.dist.server``, asyncio-cored by default).
+  The HTTP transport also speaks ``POST /claim`` — the whole claim scan
+  runs broker-side in one round trip, with a client-side fallback
+  (:class:`~repro.campaign.dist.transport.ClaimUnsupported`) for brokers
+  that predate the endpoint.  The result cache and the persisted cost
+  model ride the same contract
   (:func:`~repro.campaign.cache.open_cache`), so broker fleets
   deduplicate without any shared filesystem;
 * :class:`~repro.campaign.dist.queue.WorkQueue` — durable work queue over
@@ -50,6 +54,7 @@ from repro.campaign.dist.queue import (
     priority_for_cost,
 )
 from repro.campaign.dist.transport import (
+    ClaimUnsupported,
     FsTransport,
     HttpTransport,
     MemoryTransport,
@@ -78,6 +83,7 @@ __all__ = [
     "AutoscalePolicy",
     "Broker",
     "CampaignSnapshot",
+    "ClaimUnsupported",
     "CostModel",
     "DistributedExecutor",
     "FsTransport",

@@ -56,7 +56,12 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.campaign.dist.transport import ANY, FsTransport, QueueTransport
+from repro.campaign.dist.transport import (
+    ANY,
+    ClaimUnsupported,
+    FsTransport,
+    QueueTransport,
+)
 from repro.campaign.jobs import JobResult, result_from_record_or_none
 from repro.campaign.jsonio import json_dumps_bytes, json_loads_or_none
 from repro.campaign.spec import JobSpec
@@ -107,6 +112,188 @@ def cost_for_priority(name: str) -> float:
     if not prefix.isdigit():
         return 0.0
     return max(0, _PRIORITY_MAX - int(prefix)) / 1000.0
+
+
+def _ticket_key_of(name: str) -> Optional[str]:
+    """Job key embedded in a ticket name; ``None`` for foreign names."""
+    if len(name) <= _PRIORITY_WIDTH + 1 or name[_PRIORITY_WIDTH] != "-":
+        return None
+    if not name[:_PRIORITY_WIDTH].isdigit():
+        return None
+    return name[_PRIORITY_WIDTH + 1:]
+
+
+def _lease_doc(worker: str, attempts: int, now: float,
+               lease_seconds: float) -> Dict[str, Any]:
+    """The claim-and-lease document, shared by every claim/renew path."""
+    return {"worker": worker, "attempts": attempts, "claimed_at": now,
+            "expires_at": now + lease_seconds}
+
+
+def _retire_over(transport: QueueTransport, ns: str, name: str,
+                 claim_etag: Optional[str] = None) -> None:
+    """Idempotently move a ticket with a persisted result to ``done``.
+
+    One mixed batch: create the done marker, then drop the ticket and
+    the claim.  The claim delete is conditional when an etag is given,
+    so a retire racing a re-claim leaves the new claimant's lease alone
+    (the scavenger retires it later, against the result record).
+    """
+    transport.mutate_many([
+        ("put", f"{ns}done/{name}.json", json_dumps_bytes({}), None),
+        ("delete", f"{ns}pending/{name}.json", None),
+        ("delete", f"{ns}claims/{name}.json", claim_etag),
+    ])
+
+
+def _bury_over(transport: QueueTransport, ns: str, name: str, key: str,
+               attempts: int, error: str,
+               record: Optional[Dict[str, Any]] = None) -> None:
+    """Dead-letter a job: persist the dead record, drop ticket and claim."""
+    if record is None:
+        got = transport.get(f"{ns}jobs/{key}.json")
+        record = json_loads_or_none(got[0]) if got is not None else None
+    record = record or {}
+    transport.mutate_many([
+        ("put", f"{ns}dead/{key}.json", json_dumps_bytes({
+            "job": record.get("job"),
+            "error": error,
+            "attempts": attempts,
+        }), ANY),
+        ("delete", f"{ns}pending/{name}.json", None),
+        ("delete", f"{ns}claims/{name}.json", None),
+    ])
+
+
+def claim_first_over(transport: QueueTransport, prefix: str = "pending/",
+                     worker: str = "", now: Optional[float] = None,
+                     lease_seconds: Optional[float] = None
+                     ) -> Optional[Dict[str, Any]]:
+    """Run one scan-probe-CAS claim pass over a bare transport.
+
+    This is *the* claim algorithm — :meth:`WorkQueue.claim` runs it
+    client-side over fs/memory transports (and against brokers that
+    predate ``POST /claim``), and the broker runs the very same function
+    server-side to answer ``POST /claim``, where every round trip in it
+    is a local store operation instead of a network exchange.
+
+    ``prefix`` must end with ``"pending/"``; anything before it is the
+    queue's key namespace (normally empty).  ``now`` defaults to the
+    wall clock and ``lease_seconds`` to the queue config stored at
+    ``<ns>queue.json`` (30s when absent) — callers with injected clocks
+    or adopted configs pass both explicitly.
+
+    Returns ``None`` when nothing is claimable, else the claim outcome::
+
+        {"name": <ticket stem>, "key": <job key>, "etag": <claim etag>,
+         "attempts": <prior attempts>, "cost": <estimate>,
+         "record": <jobs/ document>, "lease": <claim document>}
+
+    — all JSON-serializable, because over HTTP this dict *is* the
+    response body.  Corrupt bookkeeping never aborts the scan: a garbage
+    ticket claims at attempt 0, a corrupt job record is dead-lettered
+    and the scan continues.
+    """
+    if not prefix.endswith("pending/"):
+        raise ValueError(f"claim prefix must end with 'pending/': {prefix!r}")
+    ns = prefix[:-len("pending/")]
+    if now is None:
+        now = time.time()
+    if lease_seconds is None:
+        got = transport.get(f"{ns}queue.json")
+        config = json_loads_or_none(got[0]) if got is not None else None
+        lease_seconds = float((config or {}).get("lease_seconds", 30.0))
+    head = len(prefix)
+    start_after = ""
+    while True:
+        page, token = transport.list_page(prefix, _SCAN_PAGE,
+                                          start_after=start_after)
+        candidates = []
+        for full_key in page:
+            if not full_key.endswith(".json"):
+                continue
+            name = full_key[head:-5]
+            key = _ticket_key_of(name)
+            if key is not None:  # foreign documents left alone
+                candidates.append((name, key))
+        for start in range(0, len(candidates), _CLAIM_WINDOW):
+            outcome = _claim_window_over(
+                transport, ns, candidates[start:start + _CLAIM_WINDOW],
+                worker, now, lease_seconds)
+            if outcome is not None:
+                return outcome
+        if token is None:
+            return None
+        start_after = token
+
+
+def _claim_window_over(transport: QueueTransport, ns: str, candidates,
+                       worker: str, now: float, lease_seconds: float
+                       ) -> Optional[Dict[str, Any]]:
+    """Try to claim one of ``candidates`` (one window of pending names,
+    priority-ordered); returns the claim outcome dict or ``None``."""
+    if not candidates:
+        return None
+    count = len(candidates)
+    probes = transport.get_many(
+        [f"{ns}results/{key}.json" for _, key in candidates]
+        + [f"{ns}pending/{name}.json" for name, _ in candidates]
+        + [f"{ns}claims/{name}.json" for name, _ in candidates])
+    have_result = probes[:count]
+    tickets = probes[count:2 * count]
+    held = probes[2 * count:]
+    for (name, key), result_doc, ticket_doc, claim_doc in zip(
+            candidates, have_result, tickets, held):
+        if result_doc is not None:
+            # Already computed (healed double-enqueue / crashed settle):
+            # retire the ticket.
+            _retire_over(transport, ns, name)
+            continue
+        if claim_doc is not None:
+            continue  # held by a live (or not-yet-scavenged) claim
+        ticket = (json_loads_or_none(ticket_doc[0])
+                  if ticket_doc is not None else None) or {}
+        attempts = int(ticket.get("attempts", 0) or 0)
+        lease = _lease_doc(worker, attempts, now, lease_seconds)
+        payload = json_dumps_bytes(lease)
+        etag = transport.cas(f"{ns}claims/{name}.json", payload,
+                             if_match=None)
+        if etag is None:
+            # Lost the race — unless the "conflict" is our own write: a
+            # retried HTTP request whose first response was lost lands
+            # the document, then sees it exist.  If the stored bytes are
+            # exactly what we tried to write, the claim is ours; skipping
+            # it would strand our own lease and burn a retry attempt the
+            # job never used.  (Server-side the CAS is local and exact,
+            # so this branch simply never fires there.)
+            got = transport.get(f"{ns}claims/{name}.json")
+            if got is None or got[0] != payload:
+                continue  # genuinely someone else's claim
+            etag = got[1]
+        # Read the (immutable) job record only after winning: losers of a
+        # contended claim should cost one failed CAS, not extra round
+        # trips.  A corrupt record is buried from the claim we now hold,
+        # exactly as a pre-claim check would have done.
+        record_got = transport.get(f"{ns}jobs/{key}.json")
+        record = (json_loads_or_none(record_got[0])
+                  if record_got is not None else None)
+        if not record or "job" not in record:
+            _bury_over(transport, ns, name, key, attempts,
+                       error="corrupt job record (unreadable spec)",
+                       record=record)
+            continue
+        try:
+            JobSpec.from_record(record["job"])
+        except (KeyError, TypeError, ValueError):
+            _bury_over(transport, ns, name, key, attempts,
+                       error="corrupt job record (bad spec fields)",
+                       record=record)
+            continue
+        return {"name": name, "key": key, "etag": etag,
+                "attempts": attempts,
+                "cost": float(record.get("cost", 0.0) or 0.0),
+                "record": record, "lease": lease}
+    return None
 
 
 @dataclass
@@ -202,6 +389,11 @@ class WorkQueue:
             raise ValueError("max_attempts must be >= 1")
         self.lease_seconds = lease_seconds
         self.max_attempts = max_attempts
+        # Set once the transport's server-side claim fast path has been
+        # probed and found missing (an old broker): later claims skip the
+        # doomed POST and go straight to the client-side scan.
+        self._claim_fallback = not callable(
+            getattr(self.transport, "claim_first", None))
 
     @property
     def address(self) -> Optional[str]:
@@ -222,11 +414,7 @@ class WorkQueue:
     @staticmethod
     def _key_of(name: str) -> Optional[str]:
         """Job key embedded in a ticket name; ``None`` for foreign names."""
-        if len(name) <= _PRIORITY_WIDTH + 1 or name[_PRIORITY_WIDTH] != "-":
-            return None
-        if not name[:_PRIORITY_WIDTH].isdigit():
-            return None
-        return name[_PRIORITY_WIDTH + 1:]
+        return _ticket_key_of(name)
 
     def _names(self, state: str) -> List[str]:
         """Sorted document stems under a state prefix (foreign keys skipped)."""
@@ -351,8 +539,7 @@ class WorkQueue:
     # -- claim / lease -----------------------------------------------------
     def _lease_payload(self, worker: str, attempts: int,
                        now: float) -> Dict[str, Any]:
-        return {"worker": worker, "attempts": attempts, "claimed_at": now,
-                "expires_at": now + self.lease_seconds}
+        return _lease_doc(worker, attempts, now, self.lease_seconds)
 
     def claim(self, worker: str = "") -> Optional[WorkItem]:
         """Atomically claim the highest-priority pending job, if any.
@@ -365,95 +552,73 @@ class WorkQueue:
         job record is dead-lettered (nothing left to execute) and the
         scan continues with the next ticket.
 
-        The scan pages through the pending listing (a claim normally wins
-        inside the first page, so an idle poll never ships the whole
-        keyspace) and batch-probes each candidate window's result, ticket
-        *and* claim documents in one round trip — no full listing of
-        ``claims/`` either.
-        """
-        now = self._clock()
-        start_after = ""
-        while True:
-            page, token = self.transport.list_page("pending/", _SCAN_PAGE,
-                                                   start_after=start_after)
-            head = len("pending/")
-            candidates = []
-            for full_key in page:
-                if not full_key.endswith(".json"):
-                    continue
-                name = full_key[head:-5]
-                key = self._key_of(name)
-                if key is not None:  # foreign documents left alone
-                    candidates.append((name, key))
-            for start in range(0, len(candidates), _CLAIM_WINDOW):
-                item = self._claim_from(
-                    candidates[start:start + _CLAIM_WINDOW], worker, now)
-                if item is not None:
-                    return item
-            if token is None:
-                return None
-            start_after = token
+        The algorithm is :func:`claim_first_over` — one scan-probe-CAS
+        pass: page the pending listing (a claim normally wins inside the
+        first page, so an idle poll never ships the whole keyspace),
+        batch-probe each candidate window's result, ticket *and* claim
+        documents in one round trip, CAS-create the claim document.
 
-    def _claim_from(self, candidates, worker: str,
-                    now: float) -> Optional[WorkItem]:
-        """Try to claim one of ``candidates`` (one window of pending names,
-        priority-ordered); returns the won :class:`WorkItem` or ``None``."""
-        if not candidates:
-            return None
-        count = len(candidates)
-        probes = self.transport.get_many(
-            [f"results/{key}.json" for _, key in candidates]
-            + [f"pending/{name}.json" for name, _ in candidates]
-            + [f"claims/{name}.json" for name, _ in candidates])
-        have_result = probes[:count]
-        tickets = probes[count:2 * count]
-        held = probes[2 * count:]
-        for (name, key), result_doc, ticket_doc, claim_doc in zip(
-                candidates, have_result, tickets, held):
-            if result_doc is not None:
-                # Already computed (healed double-enqueue / crashed
-                # settle): retire the ticket.
-                self._retire(name, key)
-                continue
-            if claim_doc is not None:
-                continue  # held by a live (or not-yet-scavenged) claim
-            ticket = (json_loads_or_none(ticket_doc[0])
-                      if ticket_doc is not None else None) or {}
-            attempts = int(ticket.get("attempts", 0) or 0)
-            payload = json_dumps_bytes(
-                self._lease_payload(worker, attempts, now))
-            etag = self.transport.cas(f"claims/{name}.json", payload,
-                                      if_match=None)
-            if etag is None:
-                # Lost the race — unless the "conflict" is our own write:
-                # a retried HTTP request whose first response was lost
-                # lands the document, then sees it exist.  If the stored
-                # bytes are exactly what we tried to write, the claim is
-                # ours; skipping it would strand our own lease and burn a
-                # retry attempt the job never used.
-                got = self.transport.get(f"claims/{name}.json")
-                if got is None or got[0] != payload:
-                    continue  # genuinely someone else's claim
-                etag = got[1]
-            # Read the (immutable) job record only after winning: losers
-            # of a contended claim should cost one failed CAS, not extra
-            # round trips.  A corrupt record is buried from the claim we
-            # now hold, exactly as a pre-claim check would have done.
-            record = self._get_json(f"jobs/{key}.json")
-            if not record or "job" not in record:
-                self._bury(name, key, attempts,
-                           error="corrupt job record (unreadable spec)")
-                continue
+        When the transport advertises a server-side claim
+        (``claim_first`` — the HTTP transport against a current broker),
+        the whole pass runs broker-side as one ``POST /claim`` round
+        trip instead of four; the claimant's clock and adopted lease
+        policy ride along, so the semantics (including fake-clock tests)
+        are identical.  A 404 from an old broker falls back to the
+        client-side scan, permanently for this queue object.
+        """
+        while not self._claim_fallback:
             try:
-                job = JobSpec.from_record(record["job"])
-            except (KeyError, TypeError, ValueError):
-                self._bury(name, key, attempts,
-                           error="corrupt job record (bad spec fields)")
-                continue
-            cost = float(record.get("cost", 0.0) or 0.0)
-            return WorkItem(name=name, key=key, job=job, attempts=attempts,
-                            cost=cost, worker=worker, etag=etag)
+                outcome = self.transport.claim_first(
+                    prefix="pending/", worker=worker, now=self._clock(),
+                    lease_seconds=self.lease_seconds)
+            except ClaimUnsupported:
+                self._claim_fallback = True
+                break
+            if outcome is None:
+                return None
+            item = self._item_from_outcome(outcome, worker)
+            if item is not None:
+                return item
+            # The outcome carried a record this client cannot parse
+            # (version skew): it was buried client-side; rescan.
+        outcome = claim_first_over(
+            self.transport, worker=worker, now=self._clock(),
+            lease_seconds=self.lease_seconds)
+        while outcome is not None:
+            item = self._item_from_outcome(outcome, worker)
+            if item is not None:
+                return item
+            outcome = claim_first_over(
+                self.transport, worker=worker, now=self._clock(),
+                lease_seconds=self.lease_seconds)
         return None
+
+    def _item_from_outcome(self, outcome: Dict[str, Any],
+                           worker: str) -> Optional[WorkItem]:
+        """Build a :class:`WorkItem` from a claim outcome document.
+
+        The outcome's job record was validated by whoever ran the scan
+        (this process, or the broker answering ``POST /claim``) — but
+        that validator may run a different code version, so a record
+        that fails to parse *here* is buried from the claim we hold,
+        and ``None`` tells the caller to rescan.
+        """
+        name = str(outcome.get("name", ""))
+        key = str(outcome.get("key", "") or self._key_of(name) or "")
+        attempts = int(outcome.get("attempts", 0) or 0)
+        record = outcome.get("record")
+        job_record = (record or {}).get("job") if isinstance(record, dict) \
+            else None
+        try:
+            job = JobSpec.from_record(job_record)
+        except (KeyError, TypeError, ValueError, AttributeError):
+            self._bury(name, key, attempts,
+                       error="corrupt job record (bad spec fields)")
+            return None
+        cost = float(outcome.get("cost", 0.0) or 0.0)
+        return WorkItem(name=name, key=key, job=job, attempts=attempts,
+                        cost=cost, worker=worker,
+                        etag=str(outcome.get("etag", "") or ""))
 
     def heartbeat(self, item: WorkItem) -> bool:
         """Extend the lease of a claimed job (call while executing).
@@ -495,9 +660,9 @@ class WorkQueue:
         are content-derived and therefore identical, and the stale claim
         etag keeps us from touching the new claimant's lease.
 
-        Settling is two batch round trips: the writes (result record,
-        then done marker — ``put_many`` applies in order, so the result
-        is still the commit point) and then the retirements.
+        Settling is *one* mixed batch round trip (``mutate_many``): the
+        result record, then the done marker, then the retirements —
+        batches apply in order, so the result is still the commit point.
         """
         record = {
             "result": result.to_record(),
@@ -505,32 +670,25 @@ class WorkQueue:
             "worker": item.worker,
             "attempts": item.attempts + 1,
         }
-        self.transport.put_many([
-            (f"results/{item.key}.json", json_dumps_bytes(record), ANY),
-            (f"done/{item.name}.json", json_dumps_bytes({}), None),
-        ])
-        self.transport.delete_many([
-            (f"pending/{item.name}.json", None),
+        self.transport.mutate_many([
+            ("put", f"results/{item.key}.json", json_dumps_bytes(record),
+             ANY),
+            ("put", f"done/{item.name}.json", json_dumps_bytes({}), None),
+            ("delete", f"pending/{item.name}.json", None),
             # Conditional on our etag: ours going stale (late completion
             # after requeue) must leave the new claimant's lease alone.
-            (f"claims/{item.name}.json", item.etag or None),
+            ("delete", f"claims/{item.name}.json", item.etag or None),
         ])
 
     def _retire(self, name: str, key: str,
                 claim_etag: Optional[str] = None) -> None:
-        """Idempotently move a ticket with a persisted result to ``done``."""
-        self.transport.cas(f"done/{name}.json", json_dumps_bytes({}),
-                           if_match=None)
-        removed = self.transport.delete_many([
-            (f"pending/{name}.json", None),
-            (f"claims/{name}.json", claim_etag),
-        ])
-        if not removed[1]:
-            # Ours went stale (late completion after requeue) — leave the
-            # new claimant's lease alone; the scavenger retires it against
-            # the result record.  An unconditional retire (claim_etag None)
-            # already removed it or found nothing.
-            pass
+        """Idempotently move a ticket with a persisted result to ``done``.
+
+        A conditional claim delete that misses (ours went stale — late
+        completion after requeue) leaves the new claimant's lease alone;
+        the scavenger retires it against the result record.
+        """
+        _retire_over(self.transport, "", name, claim_etag)
 
     def fail(self, item: WorkItem, error: str) -> str:
         """Record a failed attempt; requeue or dead-letter.
@@ -548,21 +706,17 @@ class WorkQueue:
         # Fold the attempt into the ticket first, then release the claim
         # (the release is the commit point, mirroring claim): the requeue
         # never deletes a ticket some other worker might rely on, so a
-        # racing claim is at worst re-run, never stranded.
-        self._put_json(f"pending/{item.name}.json", {"attempts": attempts})
-        self._delete(f"claims/{item.name}.json",
-                     if_match=item.etag or None)
+        # racing claim is at worst re-run, never stranded.  One mixed
+        # batch; ops apply in order.
+        self.transport.mutate_many([
+            ("put", f"pending/{item.name}.json",
+             json_dumps_bytes({"attempts": attempts}), ANY),
+            ("delete", f"claims/{item.name}.json", item.etag or None),
+        ])
         return "requeued"
 
     def _bury(self, name: str, key: str, attempts: int, error: str) -> None:
-        record = self._get_json(f"jobs/{key}.json") or {}
-        self._put_json(f"dead/{key}.json", {
-            "job": record.get("job"),
-            "error": error,
-            "attempts": attempts,
-        })
-        self._delete(f"pending/{name}.json")
-        self._delete(f"claims/{name}.json")
+        _bury_over(self.transport, "", name, key, attempts, error)
 
     # -- lease scavenging --------------------------------------------------
     def requeue_expired(self, now: Optional[float] = None) -> List[str]:

@@ -1,9 +1,10 @@
-"""A stdlib HTTP broker serving the S3-style queue-transport dialect.
+"""An HTTP broker serving the S3-style queue-transport dialect.
 
 Runnable as a module::
 
     python -m repro.campaign.dist.server --port 8123 [--data-dir DIR] \
-        [--host 0.0.0.0] [--lock-stripes N] [--verbose]
+        [--host 0.0.0.0] [--core asyncio|thread] [--lock-stripes N] \
+        [--verbose]
 
 The broker is the network hop that lets a campaign scale past one shared
 filesystem: the orchestrator and any number of workers point
@@ -19,14 +20,29 @@ Design:
   — in which case the whole queue state survives a broker restart, and
   because ETags are content-derived, *leases held by workers remain valid
   across the restart* (the crash tests pin this down).
-* **Mutations serialize under striped locks.**  Conditional PUT/DELETE
-  (``If-Match`` / ``If-None-Match: *``) must be atomic even over the
-  read-check-write filesystem transport; instead of one global mutation
-  lock, keys hash by their *top-level prefix* (``pending/``, ``claims/``,
-  the cache's two-hex shards, …) onto a small array of stripe locks, so
-  a worker settling a result never waits behind another worker claiming a
-  ticket.  Correctness only needs mutations *of the same key* to
-  serialize, and a key's prefix always maps to the same stripe.
+* **One wire dialect, two cores.**  All request semantics live in
+  :class:`BrokerDialect` — a transport-agnostic dispatcher from parsed
+  requests to replies.  Two interchangeable network cores drive it: the
+  default ``asyncio`` core (a selector event loop; a thousand-worker
+  fleet costs a thousand sockets, not a thousand parked OS threads) and
+  the legacy ``thread`` core (``ThreadingHTTPServer``), selectable via
+  ``--core`` / the ``REPRO_BROKER_CORE`` environment variable and kept
+  until the migration completes.  CI runs the HTTP test leg once per
+  core.
+* **Mutations serialize.**  Conditional PUT/DELETE (``If-Match`` /
+  ``If-None-Match: *``) must be atomic even over the read-check-write
+  filesystem transport.  Under the ``thread`` core, keys hash by their
+  *top-level prefix* (``pending/``, ``claims/``, …) onto a small array
+  of stripe locks (:class:`StripeLocks`), so a worker settling a result
+  never waits behind another worker claiming a ticket.  Under the
+  ``asyncio`` core the dialect runs on the event-loop thread, so every
+  request body is naturally a loop-serialized section — the stripe locks
+  are acquired uncontended and cost nanoseconds.
+* **Server-side claim.**  ``POST /claim`` runs the queue's whole
+  scan-probe-CAS claim pass (:func:`repro.campaign.dist.queue.
+  claim_first_over`) broker-side, collapsing the claim's four round
+  trips into one.  Brokers that predate the endpoint answer 404 and
+  clients fall back to the client-side scan.
 * **Batching.**  ``POST /batch`` executes many conditional operations
   from one request body in order, returning a per-op status — one round
   trip for what used to be dozens.  Batches are not transactions: each
@@ -38,26 +54,35 @@ Design:
 * **Dialect** (see :class:`~repro.campaign.dist.transport.HttpTransport`):
   ``GET/PUT/DELETE /k/<key>`` with ``ETag``/``If-Match``/``If-None-Match``
   headers, ``GET /list?prefix=<p>`` → ``{"keys": [...]}``,
-  ``POST /batch``, and ``GET /healthz`` for liveness probes.  Connections
-  are HTTP/1.1 keep-alive: one TCP connection carries a whole campaign.
+  ``POST /batch``, ``POST /claim`` and ``GET /healthz`` for liveness
+  probes.  Connections are HTTP/1.1 keep-alive: one TCP connection
+  carries a whole campaign.  Malformed requests (bad ``Content-Length``,
+  garbage request line) are answered with 400 and an *announced*
+  connection close — never a desynced keep-alive stream.
 
-The server is ``ThreadingHTTPServer``-based and stdlib-only.  For tests
-and single-process demos, :class:`Broker` runs the same server on a
-background thread (``with Broker() as broker: HttpTransport(broker.url)``).
+For tests and single-process demos, :class:`Broker` runs either core on
+a background thread (``with Broker() as broker:
+HttpTransport(broker.url)``).
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import base64
 import binascii
+import http.client
+import math
+import os
+import socket
 import threading
 import urllib.parse
 import zlib
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.campaign.jsonio import json_dumps_bytes, json_loads_or_none
+from repro.campaign.dist.queue import claim_first_over
 from repro.campaign.dist.transport import (
     FsTransport,
     MemoryTransport,
@@ -75,6 +100,13 @@ MAX_LIST_PAGE = 10000
 #: Upper bound on operations accepted in one ``/batch`` request.
 MAX_BATCH_OPS = 1024
 
+#: Header-count cap per request in the asyncio core's parser — a framing
+#: sanity bound, far above anything :class:`~repro.campaign.dist.
+#: transport.HttpTransport` sends.
+_MAX_HEADERS = 100
+
+SERVER_VERSION = "repro-queue-broker/3.0"
+
 
 class StripeLocks:
     """Per-prefix stripe locks: mutations on one key always serialize,
@@ -83,7 +115,9 @@ class StripeLocks:
     The stripe is chosen by the key's top-level prefix (the segment
     before the first ``/``, or the whole key) hashed with CRC-32 — stable
     across processes, unlike ``hash(str)``, so a future multi-process
-    broker could share the mapping.
+    broker could share the mapping.  Under the asyncio core every
+    acquisition is uncontended (the dialect runs on one loop thread);
+    they are kept because the ``thread`` core shares the same dialect.
     """
 
     def __init__(self, stripes: int = DEFAULT_LOCK_STRIPES):
@@ -99,70 +133,122 @@ class StripeLocks:
                            % len(self._locks)]
 
 
-class _BrokerHandler(BaseHTTPRequestHandler):
-    """One request against the broker's backing transport.
+class _Reply:
+    """One response from the dialect: status, body, optional ETag."""
 
-    The handler class is generated per-server (:func:`make_server`) so the
-    backing store and its stripe locks arrive as class attributes —
-    ``BaseHTTPRequestHandler`` instantiates per request and cannot take
-    constructor arguments.
+    __slots__ = ("status", "body", "etag", "close")
+
+    def __init__(self, status: int, body: bytes = b"",
+                 etag: Optional[str] = None, close: bool = False):
+        self.status = status
+        self.body = body
+        self.etag = etag
+        self.close = close
+
+
+class BrokerDialect:
+    """The broker's request semantics, independent of the network core.
+
+    Both cores parse bytes off their sockets and hand
+    ``(method, target, headers, body)`` to :meth:`handle`; everything the
+    wire dialect *means* — key operations, listings, batches, the
+    server-side claim — lives here, so the two cores cannot drift apart.
+
+    Test hooks (used by the regression suites, harmless in production):
+
+    ``force_close``
+        When true, the serving core drops the connection after every
+        reply *without announcing it* — simulating a broker that closes
+        idle pooled sockets, the stale-keep-alive hazard the transport's
+        free retry exists for.
+    ``serve_claim``
+        When false, ``POST /claim`` answers 404 — simulating an old
+        broker, so the client-side fallback path stays testable after
+        brokers learn the endpoint.
     """
 
-    store: QueueTransport = None   # type: ignore[assignment]
-    locks: StripeLocks = None      # type: ignore[assignment]
-    verbose = False
+    def __init__(self, store: QueueTransport, locks: StripeLocks,
+                 verbose: bool = False):
+        self.store = store
+        self.locks = locks
+        self.verbose = verbose
+        self.force_close = False
+        self.serve_claim = True
 
-    protocol_version = "HTTP/1.1"
-    server_version = "repro-queue-broker/2.0"
-    #: TCP_NODELAY: responses are written as a header packet then a body
-    #: packet; under Nagle the body write stalls until the client ACKs
-    #: the headers (~40ms of delayed-ACK per GET/LIST on Linux), which
-    #: would erase everything keep-alive buys.
-    disable_nagle_algorithm = True
+    # -- dispatch ----------------------------------------------------------
+    def handle(self, method: str, target: str,
+               headers: Dict[str, str], body: bytes) -> _Reply:
+        """Answer one parsed request.  ``headers`` keys are lowercase."""
+        parsed = urllib.parse.urlsplit(target)
+        path = parsed.path
+        if method == "GET":
+            if path == "/healthz":
+                return _Reply(200, json_dumps_bytes({"ok": True}))
+            if path == "/list":
+                return self._list(parsed.query)
+            return self._get(path)
+        if method == "PUT":
+            return self._put(path, headers, body)
+        if method == "DELETE":
+            return self._delete(path, headers)
+        if method == "POST":
+            if path == "/batch":
+                return self._batch(body)
+            if path == "/claim":
+                return self._claim(parsed.query)
+            return _Reply(404)
+        return _Reply(501)
 
-    # -- helpers -----------------------------------------------------------
-    def _key(self) -> Optional[str]:
-        path = urllib.parse.urlparse(self.path).path
+    @staticmethod
+    def _key(path: str) -> Optional[str]:
         if not path.startswith("/k/"):
             return None
         return urllib.parse.unquote(path[len("/k/"):])
 
-    def _reply(self, status: int, body: bytes = b"",
-               etag: Optional[str] = None) -> None:
-        self.send_response(status)
-        if etag:
-            self.send_header("ETag", etag)
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        if body:
-            self.wfile.write(body)
-
-    def _read_body(self) -> bytes:
-        length = int(self.headers.get("Content-Length", 0) or 0)
-        return self.rfile.read(length) if length else b""
-
-    # -- dialect -----------------------------------------------------------
-    def do_GET(self) -> None:  # noqa: N802 - http.server naming
-        parsed = urllib.parse.urlparse(self.path)
-        if parsed.path == "/healthz":
-            self._reply(200, json_dumps_bytes({"ok": True}))
-            return
-        if parsed.path == "/list":
-            self._do_list(parsed)
-            return
-        key = self._key()
+    # -- point operations --------------------------------------------------
+    def _get(self, path: str) -> _Reply:
+        key = self._key(path)
         if key is None:
-            self._reply(404)
-            return
+            return _Reply(404)
         with self.locks.for_key(key):
             got = self.store.get(key)
         if got is None:
-            self._reply(404)
-            return
+            return _Reply(404)
         data, etag = got
-        self._reply(200, data, etag=etag)
+        return _Reply(200, data, etag=etag)
 
-    def _do_list(self, parsed) -> None:
+    def _put(self, path: str, headers: Dict[str, str],
+             body: bytes) -> _Reply:
+        key = self._key(path)
+        if key is None:
+            return _Reply(404)
+        if_match = headers.get("if-match")
+        if_none_match = headers.get("if-none-match")
+        with self.locks.for_key(key):
+            if if_none_match == "*":
+                etag = self.store.cas(key, body, if_match=None)
+            elif if_match is not None:
+                etag = self.store.cas(key, body, if_match=if_match)
+            else:
+                etag = self.store.put(key, body)
+        if etag is None:
+            return _Reply(412)
+        return _Reply(200, etag=etag)
+
+    def _delete(self, path: str, headers: Dict[str, str]) -> _Reply:
+        key = self._key(path)
+        if key is None:
+            return _Reply(404)
+        if_match = headers.get("if-match")
+        with self.locks.for_key(key):
+            existed = self.store.get(key) is not None
+            removed = self.store.delete(key, if_match=if_match)
+        if removed:
+            return _Reply(204)
+        return _Reply(412 if existed else 404)
+
+    # -- /list -------------------------------------------------------------
+    def _list(self, query_string: str) -> _Reply:
         """``/list?prefix=<p>[&max-keys=<n>&start-after=<k>]``.
 
         Without ``max-keys`` the full listing ships in one response (the
@@ -172,7 +258,7 @@ class _BrokerHandler(BaseHTTPRequestHandler):
         consistent for reads, and a listing racing a mutation is allowed
         to see either side of it (exactly as over a shared filesystem).
         """
-        query = urllib.parse.parse_qs(parsed.query)
+        query = urllib.parse.parse_qs(query_string)
         prefix = (query.get("prefix") or [""])[0]
         raw_max = (query.get("max-keys") or [None])[0]
         start_after = (query.get("start-after") or [""])[0]
@@ -180,19 +266,15 @@ class _BrokerHandler(BaseHTTPRequestHandler):
             keys = self.store.list(prefix)
             if start_after:
                 keys = [key for key in keys if key > start_after]
-            self._reply(200, json_dumps_bytes(
+            return _Reply(200, json_dumps_bytes(
                 {"keys": keys, "truncated": False}))
-            return
         try:
             max_keys = int(raw_max)
         except ValueError:
-            self._reply(400, json_dumps_bytes(
-                {"error": f"bad max-keys: {raw_max!r}"}))
-            return
+            max_keys = 0
         if max_keys < 1:
-            self._reply(400, json_dumps_bytes(
+            return _Reply(400, json_dumps_bytes(
                 {"error": f"bad max-keys: {raw_max!r}"}))
-            return
         max_keys = min(max_keys, MAX_LIST_PAGE)
         page, token = self.store.list_page(prefix, max_keys,
                                            start_after=start_after)
@@ -200,66 +282,20 @@ class _BrokerHandler(BaseHTTPRequestHandler):
                                    "truncated": token is not None}
         if token is not None:
             payload["next"] = token
-        self._reply(200, json_dumps_bytes(payload))
-
-    def do_PUT(self) -> None:  # noqa: N802
-        key = self._key()
-        if key is None:
-            # Drain the unread body first: on a keep-alive connection the
-            # leftover bytes would be parsed as the next request line.
-            self._read_body()
-            self._reply(404)
-            return
-        data = self._read_body()
-        if_match = self.headers.get("If-Match")
-        if_none_match = self.headers.get("If-None-Match")
-        with self.locks.for_key(key):
-            if if_none_match == "*":
-                etag = self.store.cas(key, data, if_match=None)
-            elif if_match is not None:
-                etag = self.store.cas(key, data, if_match=if_match)
-            else:
-                etag = self.store.put(key, data)
-        if etag is None:
-            self._reply(412)
-            return
-        self._reply(200, etag=etag)
-
-    def do_DELETE(self) -> None:  # noqa: N802
-        key = self._key()
-        if key is None:
-            self._reply(404)
-            return
-        if_match = self.headers.get("If-Match")
-        with self.locks.for_key(key):
-            existed = self.store.get(key) is not None
-            removed = self.store.delete(key, if_match=if_match)
-        if removed:
-            self._reply(204)
-        else:
-            self._reply(412 if existed else 404)
+        return _Reply(200, json_dumps_bytes(payload))
 
     # -- /batch ------------------------------------------------------------
-    def do_POST(self) -> None:  # noqa: N802
-        parsed = urllib.parse.urlparse(self.path)
-        if parsed.path != "/batch":
-            # Drain the unread body first: on a keep-alive connection the
-            # leftover bytes would be parsed as the next request line.
-            self._read_body()
-            self._reply(404)
-            return
-        payload = json_loads_or_none(self._read_body())
+    def _batch(self, body: bytes) -> _Reply:
+        payload = json_loads_or_none(body)
         ops = payload.get("ops") if payload else None
         if not isinstance(ops, list):
-            self._reply(400, json_dumps_bytes(
+            return _Reply(400, json_dumps_bytes(
                 {"error": "body must be a JSON object with an 'ops' list"}))
-            return
         if len(ops) > MAX_BATCH_OPS:
-            self._reply(400, json_dumps_bytes(
+            return _Reply(400, json_dumps_bytes(
                 {"error": f"too many ops ({len(ops)} > {MAX_BATCH_OPS})"}))
-            return
         results = [self._apply(op) for op in ops]
-        self._reply(200, json_dumps_bytes({"results": results}))
+        return _Reply(200, json_dumps_bytes({"results": results}))
 
     def _apply(self, op: Any) -> Dict[str, Any]:
         """Execute one batch op under its key's stripe lock.
@@ -312,58 +348,353 @@ class _BrokerHandler(BaseHTTPRequestHandler):
             return {"status": 204}
         return {"status": 412 if existed else 404}
 
+    # -- /claim ------------------------------------------------------------
+    def _claim(self, query_string: str) -> _Reply:
+        """``POST /claim?prefix=pending/&worker=<id>[&now=<t>&lease=<s>]``.
+
+        Runs one scan-probe-CAS claim pass (:func:`repro.campaign.dist.
+        queue.claim_first_over`) against the broker's own store, where
+        every "round trip" of the scan is a local operation.  Replies
+        200 with the JSON claim outcome (``name``/``key``/``etag``/
+        ``attempts``/``cost``/``record``/``lease``), or 204 when nothing
+        is claimable.  ``now`` and ``lease`` carry the *claimant's*
+        clock and adopted lease policy, so lease arithmetic matches the
+        client-side scan exactly (and fake-clock tests work over HTTP);
+        when omitted the broker falls back to its wall clock and the
+        stored queue config.
+
+        Every store mutation the pass performs is individually atomic on
+        both backing transports (conditional creates, unconditional
+        writes/deletes), so concurrent claims — from this endpoint or
+        from old clients running the scan remotely — still pick exactly
+        one winner per ticket without holding a stripe lock across the
+        whole scan.
+        """
+        if not self.serve_claim:
+            return _Reply(404)
+        query = urllib.parse.parse_qs(query_string)
+        prefix = (query.get("prefix") or ["pending/"])[0]
+        worker = (query.get("worker") or [""])[0]
+        raw_now = (query.get("now") or [None])[0]
+        raw_lease = (query.get("lease") or [None])[0]
+        if not prefix.endswith("pending/"):
+            return _Reply(400, json_dumps_bytes(
+                {"error": f"prefix must end with 'pending/': {prefix!r}"}))
+        now: Optional[float] = None
+        if raw_now is not None:
+            try:
+                now = float(raw_now)
+            except ValueError:
+                now = math.nan
+            if not math.isfinite(now):
+                return _Reply(400, json_dumps_bytes(
+                    {"error": f"bad now: {raw_now!r}"}))
+        lease: Optional[float] = None
+        if raw_lease is not None:
+            try:
+                lease = float(raw_lease)
+            except ValueError:
+                lease = math.nan
+            if not (math.isfinite(lease) and lease > 0):
+                return _Reply(400, json_dumps_bytes(
+                    {"error": f"bad lease: {raw_lease!r}"}))
+        outcome = claim_first_over(self.store, prefix=prefix, worker=worker,
+                                   now=now, lease_seconds=lease)
+        if outcome is None:
+            return _Reply(204)
+        return _Reply(200, json_dumps_bytes(outcome))
+
+
+# ---------------------------------------------------------------------------
+# thread core: ThreadingHTTPServer driving the dialect
+# ---------------------------------------------------------------------------
+
+class _BrokerHandler(BaseHTTPRequestHandler):
+    """Thread-core shim: parse with ``http.server``, answer via the dialect.
+
+    The handler class is generated per-server (:func:`make_server`) so
+    the dialect arrives as a class attribute — ``BaseHTTPRequestHandler``
+    instantiates per request and cannot take constructor arguments.
+    """
+
+    dialect: BrokerDialect = None  # type: ignore[assignment]
+
+    protocol_version = "HTTP/1.1"
+    server_version = SERVER_VERSION
+    #: TCP_NODELAY: responses are written as a header packet then a body
+    #: packet; under Nagle the body write stalls until the client ACKs
+    #: the headers (~40ms of delayed-ACK per GET/LIST on Linux), which
+    #: would erase everything keep-alive buys.
+    disable_nagle_algorithm = True
+
+    def _reply(self, status: int, body: bytes = b"",
+               etag: Optional[str] = None,
+               announce_close: bool = False) -> None:
+        self.send_response(status)
+        if etag:
+            self.send_header("ETag", etag)
+        if announce_close:
+            self.send_header("Connection", "close")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if body:
+            self.wfile.write(body)
+
+    def _drain_body(self) -> Optional[bytes]:
+        """Read the request body; ``None`` means unframeable request.
+
+        A malformed or negative ``Content-Length`` leaves the connection
+        byte stream unparseable — there is no knowing where this request
+        ends — so the caller must answer 400 and close.
+        """
+        raw = self.headers.get("Content-Length")
+        if raw is None or not raw.strip():
+            return b""
+        try:
+            length = int(raw)
+        except (TypeError, ValueError):
+            return None
+        if length < 0:
+            return None
+        return self.rfile.read(length) if length else b""
+
+    def _handle(self) -> None:
+        # The body is drained unconditionally, for *every* method: a
+        # client that sends a body with GET or DELETE must not leave
+        # its bytes in the stream to be parsed as the next request line.
+        body = self._drain_body()
+        if body is None:
+            self._reply(400, json_dumps_bytes(
+                {"error": "malformed Content-Length"}), announce_close=True)
+            return
+        headers = {name.lower(): value
+                   for name, value in self.headers.items()}
+        reply = self.dialect.handle(self.command, self.path, headers, body)
+        self._reply(reply.status, reply.body, etag=reply.etag,
+                    announce_close=reply.close)
+        if self.dialect.force_close:
+            # Unannounced close *after* the reply: the stale-keep-alive
+            # test hook (see BrokerDialect.force_close).
+            self.close_connection = True
+
+    do_GET = _handle    # noqa: N815 - http.server naming
+    do_PUT = _handle    # noqa: N815
+    do_POST = _handle   # noqa: N815
+    do_DELETE = _handle  # noqa: N815
+
     def log_message(self, fmt: str, *args) -> None:  # noqa: D102
-        if self.verbose:
+        if self.dialect is not None and self.dialect.verbose:
             BaseHTTPRequestHandler.log_message(self, fmt, *args)
 
 
 def make_server(host: str = "127.0.0.1", port: int = 0,
                 data_dir: Optional[str] = None,
                 verbose: bool = False,
-                lock_stripes: int = DEFAULT_LOCK_STRIPES
+                lock_stripes: int = DEFAULT_LOCK_STRIPES,
+                dialect: Optional[BrokerDialect] = None
                 ) -> ThreadingHTTPServer:
-    """Build (but don't start) a broker HTTP server.
+    """Build (but don't start) a thread-core broker HTTP server.
 
     ``port=0`` binds an ephemeral port (read it back from
     ``server.server_address``).  With ``data_dir`` the store is
     disk-backed and survives restarts; otherwise it is in-memory.
-    ``lock_stripes`` sizes the striped mutation-lock array.
+    A pre-built ``dialect`` overrides ``data_dir``/``lock_stripes``
+    (how :class:`Broker` shares one dialect across cores).
     """
-    store: QueueTransport = (FsTransport(data_dir) if data_dir
-                             else MemoryTransport())
-    handler = type("BoundBrokerHandler", (_BrokerHandler,), {
-        "store": store,
-        "locks": StripeLocks(lock_stripes),
-        "verbose": verbose,
-    })
+    if dialect is None:
+        store: QueueTransport = (FsTransport(data_dir) if data_dir
+                                 else MemoryTransport())
+        dialect = BrokerDialect(store, StripeLocks(lock_stripes),
+                                verbose=verbose)
+    handler = type("BoundBrokerHandler", (_BrokerHandler,),
+                   {"dialect": dialect})
     ThreadingHTTPServer.allow_reuse_address = True
     server = ThreadingHTTPServer((host, port), handler)
     server.daemon_threads = True
+    server.dialect = dialect  # type: ignore[attr-defined]
     return server
 
 
+# ---------------------------------------------------------------------------
+# asyncio core: a selector event loop driving the same dialect
+# ---------------------------------------------------------------------------
+
+class _BadRequest(Exception):
+    """The connection's byte stream is not a parseable HTTP request."""
+
+
+async def _read_request(reader: asyncio.StreamReader
+                        ) -> Optional[Tuple[str, str, str,
+                                            Dict[str, str], bytes]]:
+    """Parse one HTTP/1.x request off the stream.
+
+    Returns ``(method, target, version, headers, body)`` with lowercase
+    header names, ``None`` on a clean EOF between requests.  Raises
+    :class:`_BadRequest` when the stream cannot be framed (garbage
+    request line, malformed or negative ``Content-Length``, unbounded
+    headers) — the caller answers 400 and closes, because there is no
+    knowing where the broken request ends.  The body is read for *every*
+    method, so a GET or DELETE that arrives with a body can never desync
+    the keep-alive stream.
+    """
+    # One readuntil pulls the whole head (request line + headers) off the
+    # buffer in a single pass — measurably cheaper than a readline per
+    # header on the broker's hot path.
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        leftover = error.partial.strip(b"\r\n")
+        if not leftover:
+            return None  # clean EOF between requests (or stray CRLFs)
+        if b"\r\n" in error.partial or b"\n" in error.partial:
+            return None  # EOF mid-headers: peer went away, just close
+        raise _BadRequest(f"bad request line: {error.partial!r}")
+    except asyncio.LimitOverrunError:
+        raise _BadRequest("request head too large")
+    # Tolerate stray CRLFs between pipelined requests (RFC 7230 §3.5),
+    # as http.server does.
+    lines = head[:-4].lstrip(b"\r\n").split(b"\r\n")
+    parts = lines[0].decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise _BadRequest(f"bad request line: {lines[0]!r}")
+    method, target, version = parts
+    if len(lines) - 1 > _MAX_HEADERS:
+        raise _BadRequest("too many headers")
+    headers: Dict[str, str] = {}
+    for hline in lines[1:]:
+        if not hline:
+            continue
+        name, sep, value = hline.decode("latin-1").partition(":")
+        if not sep:
+            raise _BadRequest(f"bad header line: {hline!r}")
+        headers[name.strip().lower()] = value.strip()
+    raw_length = headers.get("content-length", "").strip()
+    if raw_length:
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise _BadRequest(f"malformed Content-Length: {raw_length!r}")
+        if length < 0:
+            raise _BadRequest(f"negative Content-Length: {raw_length!r}")
+    else:
+        length = 0
+    body = await reader.readexactly(length) if length else b""
+    return method, target, version, headers, body
+
+
+def _render_response(status: int, body: bytes, etag: Optional[str],
+                     announce_close: bool) -> bytes:
+    """One response as a single ``bytes`` — headers and body leave in one
+    ``write`` (with TCP_NODELAY there is no Nagle stall to dodge, but one
+    syscall per response is still the cheap shape)."""
+    reason = http.client.responses.get(status, "")
+    lines = [f"HTTP/1.1 {status} {reason}",
+             f"Server: {SERVER_VERSION}",
+             f"Content-Length: {len(body)}"]
+    if etag:
+        lines.append(f"ETag: {etag}")
+    if announce_close:
+        lines.append("Connection: close")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+async def _serve_connection(dialect: BrokerDialect,
+                            reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+    """Serve one keep-alive connection until close/EOF/unframeable bytes."""
+    while True:
+        try:
+            request = await _read_request(reader)
+        except _BadRequest:
+            # The stream cannot be re-synchronized: announce the close so
+            # a well-behaved client does not pool the connection.
+            try:
+                writer.write(_render_response(
+                    400,
+                    json_dumps_bytes({"error": "malformed request"}),
+                    None, announce_close=True))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            return
+        except (asyncio.IncompleteReadError, ConnectionError,
+                TimeoutError, ValueError, OSError):
+            return  # peer vanished mid-request (or overlong line)
+        if request is None:
+            return  # clean EOF between requests
+        method, target, version, headers, body = request
+        try:
+            reply = dialect.handle(method, target, headers, body)
+        except Exception:  # noqa: BLE001 - a handler bug must not kill the core
+            reply = _Reply(500)
+        close = (reply.close or version == "HTTP/1.0"
+                 or headers.get("connection", "").strip().lower() == "close")
+        announce = close
+        if dialect.force_close:
+            # Unannounced close after the reply: the stale-keep-alive
+            # test hook (see BrokerDialect.force_close).
+            close, announce = True, False
+        if dialect.verbose:
+            print(f"[broker] {method} {target} -> {reply.status}",
+                  flush=True)
+        try:
+            writer.write(_render_response(reply.status, reply.body,
+                                          reply.etag, announce))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            return
+        if close:
+            return
+
+
 class Broker:
-    """An embeddable broker: the module CLI's server on a background thread.
+    """An embeddable broker: either network core on a background thread.
 
     For tests, demos and single-process fleets::
 
         with Broker(data_dir="…/state") as broker:
             transport = HttpTransport(broker.url)
 
+    ``core`` selects the network core — ``"asyncio"`` (default) or
+    ``"thread"`` — falling back to the ``REPRO_BROKER_CORE`` environment
+    variable (how CI runs the HTTP test leg once per core).  Both cores
+    share one :class:`BrokerDialect`, so the wire behaviour is identical.
+
     ``stop()`` (or leaving the ``with`` block) shuts the listener down;
-    with ``data_dir`` a new ``Broker`` over the same directory resumes the
-    exact queue state — including live leases, since ETags are
-    content-derived.
+    it is idempotent and safe to call before :meth:`start` (it just
+    releases the port).  With ``data_dir`` a new ``Broker`` over the
+    same directory resumes the exact queue state — including live
+    leases, since ETags are content-derived.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  data_dir: Optional[str] = None, verbose: bool = False,
-                 lock_stripes: int = DEFAULT_LOCK_STRIPES):
-        self._server = make_server(host=host, port=port,
-                                   data_dir=str(data_dir) if data_dir else None,
-                                   verbose=verbose, lock_stripes=lock_stripes)
-        self.host, self.port = self._server.server_address[:2]
+                 lock_stripes: int = DEFAULT_LOCK_STRIPES,
+                 core: Optional[str] = None):
+        core = core or os.environ.get("REPRO_BROKER_CORE") or "asyncio"
+        if core not in ("asyncio", "thread"):
+            raise ValueError(f"unknown broker core: {core!r} "
+                             "(expected 'asyncio' or 'thread')")
+        self.core = core
+        store: QueueTransport = (FsTransport(str(data_dir)) if data_dir
+                                 else MemoryTransport())
+        self.dialect = BrokerDialect(store, StripeLocks(lock_stripes),
+                                     verbose=verbose)
         self._thread: Optional[threading.Thread] = None
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._sock: Optional[socket.socket] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started = threading.Event()
+        self._start_error: Optional[BaseException] = None
+        if core == "thread":
+            self._server = make_server(host=host, port=port,
+                                       dialect=self.dialect)
+            self.host, self.port = self._server.server_address[:2]
+        else:
+            # Bind in the constructor so the port is known (and the URL
+            # printable) before start() — exactly like the thread core.
+            self._sock = socket.create_server((host, port))
+            self.host, self.port = self._sock.getsockname()[:2]
 
     @property
     def url(self) -> str:
@@ -372,19 +703,122 @@ class Broker:
 
     def start(self) -> "Broker":
         """Serve on a daemon thread; returns ``self`` for chaining."""
-        self._thread = threading.Thread(target=self._server.serve_forever,
+        if self.core == "thread":
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name=f"broker-{self.port}", daemon=True)
+            self._thread.start()
+            return self
+        self._thread = threading.Thread(target=self._run_loop,
                                         name=f"broker-{self.port}",
                                         daemon=True)
         self._thread.start()
-        return self
-
-    def stop(self) -> None:
-        """Stop serving and release the port (idempotent)."""
-        self._server.shutdown()
-        self._server.server_close()
-        if self._thread is not None:
+        if not self._started.wait(timeout=10.0):
+            raise RuntimeError("broker event loop failed to start")
+        if self._start_error is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+            raise RuntimeError(
+                f"broker event loop failed to start: {self._start_error}")
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the *calling* thread (the CLI path); returns after
+        :meth:`stop` or ``KeyboardInterrupt``."""
+        if self.core == "thread":
+            try:
+                self._server.serve_forever()
+            finally:
+                self._server.server_close()
+            return
+        self._run_loop()
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        server = None
+        try:
+            try:
+                server = loop.run_until_complete(asyncio.start_server(
+                    self._client_connected, sock=self._sock))
+            except BaseException as exc:  # surface bind/listen failures
+                self._start_error = exc
+                raise
+            finally:
+                self._started.set()
+            loop.run_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            if server is not None:
+                server.close()
+            try:
+                # Deliberately no Server.wait_closed(): it would wait for
+                # the workers' pooled keep-alive connections, which never
+                # close on their own.  Cancelling the connection tasks
+                # tears them down immediately.
+                tasks = asyncio.all_tasks(loop)
+                for task in tasks:
+                    task.cancel()
+                if tasks:
+                    loop.run_until_complete(
+                        asyncio.gather(*tasks, return_exceptions=True))
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            finally:
+                loop.close()
+                self._loop = None
+
+    async def _client_connected(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover - best effort
+                pass
+        try:
+            await _serve_connection(self.dialect, reader, writer)
+        except asyncio.CancelledError:
+            # Broker stopping: the connection task is being torn down.
+            # Swallow the cancellation so asyncio.streams' done-callback
+            # does not log it as an unhandled exception.
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - close is best-effort
+                pass
+
+    def stop(self) -> None:
+        """Stop serving and release the port.
+
+        Idempotent, and safe to call on a broker that was never started:
+        the thread core's ``shutdown()`` is only invoked when
+        ``serve_forever`` is actually running (calling it otherwise
+        blocks forever on a loop that never ran), and the asyncio core
+        just closes the listening socket when no loop exists.
+        """
+        thread, self._thread = self._thread, None
+        if self.core == "thread":
+            if thread is not None:
+                self._server.shutdown()
+                thread.join(timeout=5.0)
+            self._server.server_close()
+            return
+        loop = self._loop
+        if thread is not None and loop is not None:
+            try:
+                loop.call_soon_threadsafe(loop.stop)
+            except RuntimeError:  # loop already closed
+                pass
+            thread.join(timeout=5.0)
+        if self._sock is not None:
+            # No-op after a started loop ran (start_server took ownership
+            # and closed it); releases the port when start() never ran.
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
 
     def __enter__(self) -> "Broker":
         return self.start()
@@ -399,7 +833,7 @@ def main(argv: Optional[list] = None) -> int:
         prog="python -m repro.campaign.dist.server",
         description="HTTP broker for distributed campaign work queues "
                     "(S3-style GET/PUT/DELETE with ETag conditional "
-                    "requests, /batch and paginated /list; see "
+                    "requests, /batch, /claim and paginated /list; see "
                     "docs/distributed.md).")
     parser.add_argument("--host", default="127.0.0.1",
                         help="bind address (default 127.0.0.1; use 0.0.0.0 "
@@ -411,6 +845,11 @@ def main(argv: Optional[list] = None) -> int:
                              "a broker restart resumes mid-campaign "
                              "(default: in-memory, state dies with the "
                              "process)")
+    parser.add_argument("--core", choices=("asyncio", "thread"),
+                        default=None,
+                        help="network core (default: $REPRO_BROKER_CORE or "
+                             "asyncio); 'thread' keeps the legacy "
+                             "one-OS-thread-per-connection server")
     parser.add_argument("--lock-stripes", type=int,
                         default=DEFAULT_LOCK_STRIPES,
                         help="number of striped mutation locks (default "
@@ -420,19 +859,18 @@ def main(argv: Optional[list] = None) -> int:
                         help="log every request")
     args = parser.parse_args(argv)
 
-    server = make_server(host=args.host, port=args.port,
-                         data_dir=args.data_dir, verbose=args.verbose,
-                         lock_stripes=args.lock_stripes)
-    host, port = server.server_address[:2]
+    broker = Broker(host=args.host, port=args.port, data_dir=args.data_dir,
+                    verbose=args.verbose, lock_stripes=args.lock_stripes,
+                    core=args.core)
     backing = args.data_dir or "memory (volatile)"
-    print(f"queue broker listening on http://{host}:{port} "
-          f"(store: {backing})", flush=True)
+    print(f"queue broker listening on {broker.url} "
+          f"(core: {broker.core}, store: {backing})", flush=True)
     try:
-        server.serve_forever()
+        broker.serve_forever()
     except KeyboardInterrupt:
         print("broker shutting down", flush=True)
     finally:
-        server.server_close()
+        broker.stop()
     return 0
 
 

@@ -61,6 +61,14 @@ filesystem):
     sequencing survives batching.
 ``delete_many(items)``
     Each item is ``(key, if_match_or_None)``; returns one bool per item.
+``mutate_many(ops)``
+    A *mixed* ordered batch of writes and deletes: each op is
+    ``("put", key, data, condition)`` (condition as in ``put_many``) or
+    ``("delete", key, if_match_or_None)``.  Returns one outcome per op —
+    ETag-or-``None`` for puts, bool for deletes.  This is what lets the
+    queue settle a finished job (write result + done marker, delete
+    pending ticket + claim) in *one* broker round trip instead of a
+    ``put_many`` followed by a ``delete_many``.
 ``list_page(prefix, max_keys, start_after="")``
     One page of the sorted listing: ``(keys, next_token)`` with at most
     ``max_keys`` keys strictly greater than ``start_after``.
@@ -92,6 +100,7 @@ import binascii
 import http.client
 import hashlib
 import os
+import random
 import socket
 import threading
 import time
@@ -136,6 +145,18 @@ class TransportError(Exception):
     def __init__(self, message: str, address: Optional[str] = None):
         super().__init__(message)
         self.address = address
+
+
+class ClaimUnsupported(Exception):
+    """The transport's backend cannot run the claim scan server-side.
+
+    Raised by :meth:`HttpTransport.claim_first` when the broker answers
+    ``POST /claim`` with 404 — an older broker that predates the
+    endpoint.  :meth:`~repro.campaign.dist.queue.WorkQueue.claim` catches
+    this once, memoizes it, and falls back to the client-side
+    scan-probe-CAS sequence for the rest of the process, so new workers
+    interoperate with old brokers at the old (slower) wire cost.
+    """
 
 
 def etag_of(data: bytes) -> str:
@@ -218,6 +239,30 @@ class QueueTransport:
         return [self.delete(key, if_match=if_match)
                 for key, if_match in items]
 
+    def mutate_many(self, ops: Sequence[Tuple]) -> List[object]:
+        """Apply a mixed ordered batch of writes and deletes.
+
+        Each op is ``("put", key, data, condition)`` — condition as in
+        :meth:`put_many` — or ``("delete", key, if_match)``.  Returns one
+        outcome per op, in order: ETag-or-``None`` for puts, bool for
+        deletes.  Like the other batches this is not a transaction; each
+        op succeeds or conflicts individually, in order.
+        """
+        out: List[object] = []
+        for op in ops:
+            if op[0] == "put":
+                _, key, data, condition = op
+                if condition == ANY:
+                    out.append(self.put(key, data))
+                else:
+                    out.append(self.cas(key, data, if_match=condition))
+            elif op[0] == "delete":
+                _, key, if_match = op
+                out.append(self.delete(key, if_match=if_match))
+            else:
+                raise ValueError(f"unknown mutate_many op: {op[0]!r}")
+        return out
+
     def list_page(self, prefix: str, max_keys: int,
                   start_after: str = "") -> Tuple[List[str], Optional[str]]:
         """One sorted page of at most ``max_keys`` keys after
@@ -271,6 +316,13 @@ class MemoryTransport(QueueTransport):
     (['b/2'], None)
     >>> t.delete_many([("b/1", "stale"), ("b/2", None)])
     [False, True]
+
+    ``mutate_many`` mixes writes and deletes in one ordered batch:
+
+    >>> out = t.mutate_many([("put", "c/1", b"r", ANY),
+    ...                      ("delete", "b/1", None)])
+    >>> out == [etag_of(b"r"), True]
+    True
     """
 
     address = None
@@ -347,6 +399,24 @@ class MemoryTransport(QueueTransport):
         with self._lock:
             return [self._delete_locked(key, if_match)
                     for key, if_match in items]
+
+    def mutate_many(self, ops: Sequence[Tuple]) -> List[object]:
+        out: List[object] = []
+        with self._lock:
+            for op in ops:
+                if op[0] == "put":
+                    _, key, data, condition = op
+                    if condition == ANY:
+                        self._data[key] = data
+                        out.append(etag_of(data))
+                    else:
+                        out.append(self._cas_locked(key, data, condition))
+                elif op[0] == "delete":
+                    _, key, if_match = op
+                    out.append(self._delete_locked(key, if_match))
+                else:
+                    raise ValueError(f"unknown mutate_many op: {op[0]!r}")
+        return out
 
     def list_page(self, prefix: str, max_keys: int,
                   start_after: str = "") -> Tuple[List[str], Optional[str]]:
@@ -572,12 +642,15 @@ class HttpTransport(QueueTransport):
     """
 
     def __init__(self, base_url: str, retries: int = 5,
-                 retry_delay: float = 0.2, timeout: float = 10.0):
+                 retry_delay: float = 0.2, timeout: float = 10.0,
+                 retry_max_delay: float = 5.0):
         self.base_url = base_url.rstrip("/")
         self.retries = max(0, int(retries))
         self.retry_delay = retry_delay
+        self.retry_max_delay = retry_max_delay
         self.timeout = timeout
         self.address = self.base_url
+        self._claim_unsupported = False
         parsed = urllib.parse.urlsplit(self.base_url)
         self._https = parsed.scheme == "https"
         self._host = parsed.hostname or ""
@@ -675,11 +748,27 @@ class HttpTransport(QueueTransport):
                     except _ConnectionDropped as again:
                         last_error = again.error
             if attempt < self.retries:
-                time.sleep(self.retry_delay * (2 ** attempt))
+                time.sleep(self._backoff_delay(attempt))
         raise TransportError(
             f"broker unreachable at {self.base_url} after "
             f"{self.retries + 1} attempts: {last_error}",
             address=self.base_url)
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Full-jitter exponential backoff, clamped to ``retry_max_delay``.
+
+        A broker blip hits every worker in a fleet at once; if they all
+        slept the same deterministic ``retry_delay * 2**attempt`` they
+        would come back in lockstep and re-create the very thundering
+        herd the backoff exists to dissipate.  Drawing uniformly from
+        ``[0, min(cap, base * 2**attempt)]`` spreads the retries across
+        the whole window (AWS-style "full jitter"), and the cap keeps the
+        worst-case stall bounded no matter how many retries are
+        configured.
+        """
+        ceiling = min(self.retry_max_delay,
+                      self.retry_delay * (2 ** attempt))
+        return random.uniform(0.0, max(0.0, ceiling))
 
     def _key_path(self, key: str) -> str:
         return f"{self._prefix}/k/{urllib.parse.quote(key)}"
@@ -860,6 +949,102 @@ class HttpTransport(QueueTransport):
                     f"batch DELETE {key}: unexpected status {status}",
                     address=self.base_url)
         return out
+
+    def mutate_many(self, ops: Sequence[Tuple]) -> List[object]:
+        ops = list(ops)
+        if not ops:
+            return []
+        wire: List[Dict[str, object]] = []
+        for op in ops:
+            if op[0] == "put":
+                _, key, data, condition = op
+                encoded: Dict[str, object] = {
+                    "op": "put", "key": key,
+                    "data": base64.b64encode(data).decode("ascii")}
+                if condition is None:
+                    encoded["if_none_match"] = "*"
+                elif condition != ANY:
+                    encoded["if_match"] = condition
+            elif op[0] == "delete":
+                _, key, if_match = op
+                encoded = {"op": "delete", "key": key}
+                if if_match is not None:
+                    encoded["if_match"] = if_match
+            else:
+                raise ValueError(f"unknown mutate_many op: {op[0]!r}")
+            wire.append(encoded)
+        outcomes = self._batch(wire)
+        out: List[object] = []
+        for op, res in zip(ops, outcomes):
+            status = res.get("status") if isinstance(res, dict) else None
+            if op[0] == "put":
+                if status == 412:
+                    out.append(None)
+                elif status in (200, 201):
+                    out.append(str(res.get("etag", "")))
+                else:
+                    raise TransportError(
+                        f"batch PUT {op[1]}: unexpected status {status}",
+                        address=self.base_url)
+            else:
+                if status in (200, 204):
+                    out.append(True)
+                elif status in (404, 412):
+                    out.append(False)
+                else:
+                    raise TransportError(
+                        f"batch DELETE {op[1]}: unexpected status {status}",
+                        address=self.base_url)
+        return out
+
+    # -- server-side claim -------------------------------------------------
+    def claim_first(self, prefix: str = "pending/", worker: str = "",
+                    now: Optional[float] = None,
+                    lease_seconds: Optional[float] = None
+                    ) -> Optional[dict]:
+        """Ask the broker to run one scan-probe-CAS claim pass server-side.
+
+        ``POST /claim`` collapses the whole client-side claim sequence —
+        page the pending listing, batch-probe results/pending/claims,
+        CAS-create the claim document, read the job record — into a
+        single round trip, decided under the broker's locks.  Returns the
+        claim outcome document (``name``/``key``/``etag``/``attempts``/
+        ``cost``/``record``/``lease``), ``None`` when the queue is
+        drained (204), and raises :class:`ClaimUnsupported` against
+        brokers that predate the endpoint (404) — the caller falls back
+        to the client-side scan.  ``now`` and ``lease_seconds`` are
+        passed through for callers driving fake clocks; the broker
+        defaults them to its wall clock and the queue config.
+
+        The request is **not** idempotent: a retried POST whose first
+        response was lost may have claimed a ticket whose lease the
+        caller never learns about.  That degrades to a lease-expiry
+        retry (the queue's normal at-least-once path), never a lost job.
+        """
+        if self._claim_unsupported:
+            raise ClaimUnsupported(self.base_url)
+        query: Dict[str, str] = {"prefix": prefix, "worker": worker}
+        if now is not None:
+            query["now"] = repr(float(now))
+        if lease_seconds is not None:
+            query["lease"] = repr(float(lease_seconds))
+        status, body, _ = self._request(
+            "POST", f"{self._prefix}/claim?{urllib.parse.urlencode(query)}",
+            idempotent=False)
+        if status == 404:
+            self._claim_unsupported = True
+            raise ClaimUnsupported(self.base_url)
+        if status == 204:
+            return None
+        if status != 200:
+            raise TransportError(
+                f"CLAIM {prefix}: unexpected status {status}",
+                address=self.base_url)
+        outcome = json_loads_or_none(body)
+        if not isinstance(outcome, dict) or "name" not in outcome:
+            raise TransportError(
+                "CLAIM: malformed response body", address=self.base_url)
+        return outcome
 
     def close(self) -> None:
         """Release this thread's pooled connection (other threads' pooled

@@ -342,6 +342,10 @@ def test_claim_adopts_its_own_lost_response_write(queue, clock):
             return None  # the write landed; the response did not
         return tag
 
+    # The own-write check lives in the *client-side* scan: over a broker
+    # with server-side claim the CAS is local and exact, so pin the
+    # fallback path (old brokers and fs/memory transports keep it).
+    queue._claim_fallback = True
     queue.transport.cas = lossy_cas
     item = queue.claim("w0")
     assert dropped, "the simulated lost response never triggered"

@@ -1,0 +1,373 @@
+"""Broker network-core regression tests, run against BOTH cores.
+
+The broker grew a second network core (asyncio selector loop alongside
+the legacy ``ThreadingHTTPServer``) and a server-side claim endpoint.
+Everything here is parametrized over both cores: the wire dialect, the
+keep-alive desync hardening (malformed ``Content-Length``, bodies on
+GET/DELETE), the ``Broker.stop()`` lifecycle guards, and the
+``POST /claim`` contract — exactly-one-winner, drained → 204, corrupt
+bookkeeping, the old-broker fallback, and fake clocks riding the wire.
+"""
+
+import json
+import socket
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.campaign import SweepSpec
+from repro.campaign.dist import HttpTransport, WorkQueue
+from repro.campaign.dist.server import Broker
+from repro.campaign.dist.transport import ClaimUnsupported
+from repro.campaign.jobs import execute_job
+
+CORES = ["asyncio", "thread"]
+
+
+def _spec(**overrides):
+    kwargs = dict(name="core-spec", case="synthetic",
+                  base={"rate": 150.0},
+                  grid={"workers": [1, 2], "tasks": [4, 8]})
+    kwargs.update(overrides)
+    return SweepSpec(**kwargs)
+
+
+@pytest.fixture(params=CORES)
+def broker(request):
+    b = Broker(core=request.param).start()
+    try:
+        yield b
+    finally:
+        b.stop()
+
+
+def _read_responses(stream, count):
+    """Parse ``count`` HTTP responses off a raw socket file object."""
+    out = []
+    for _ in range(count):
+        status_line = stream.readline()
+        if not status_line:
+            break
+        headers = {}
+        while True:
+            line = stream.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or 0)
+        body = stream.read(length) if length else b""
+        out.append((int(status_line.split()[1]), headers, body))
+    return out
+
+
+# -- core selection ----------------------------------------------------------
+
+def test_core_selection_and_validation(monkeypatch):
+    monkeypatch.delenv("REPRO_BROKER_CORE", raising=False)
+    b = Broker()
+    assert b.core == "asyncio"  # the default core
+    b.stop()
+    monkeypatch.setenv("REPRO_BROKER_CORE", "thread")
+    b = Broker()
+    assert b.core == "thread"  # env var steers the default (CI matrix)
+    b.stop()
+    b = Broker(core="asyncio")
+    assert b.core == "asyncio"  # explicit arg beats the env var
+    b.stop()
+    with pytest.raises(ValueError, match="unknown broker core"):
+        Broker(core="gevent")
+
+
+# -- wire dialect smoke over both cores --------------------------------------
+
+def test_wire_dialect_smoke(broker):
+    transport = HttpTransport(broker.url, retries=1, retry_delay=0.05)
+    assert transport.get("x.json") is None
+    tag = transport.put("x.json", b"v1")
+    assert transport.get("x.json") == (b"v1", tag)
+    assert transport.cas("x.json", b"v2", if_match=None) is None
+    assert transport.cas("x.json", b"v2", if_match=tag) is not None
+    assert transport.list("") == ["x.json"]
+    assert transport.list_page("", 10) == (["x.json"], None)
+    assert transport.get_many(["x.json", "nope.json"]) == [
+        (b"v2", transport.get("x.json")[1]), None]
+    assert transport.delete("x.json")
+    with urllib.request.urlopen(f"{broker.url}/healthz",
+                                timeout=5.0) as response:
+        assert json.loads(response.read()) == {"ok": True}
+
+
+def test_unknown_method_and_path(broker):
+    request = urllib.request.Request(f"{broker.url}/nope", method="GET")
+    with pytest.raises(urllib.error.HTTPError) as caught:
+        urllib.request.urlopen(request, timeout=5.0)
+    assert caught.value.code == 404
+
+
+# -- keep-alive desync hardening ---------------------------------------------
+
+def test_malformed_content_length_gets_400_and_announced_close(broker):
+    """Satellite regression: ``Content-Length: banana`` used to raise an
+    unhandled ValueError — a 500 with the body bytes still in the stream,
+    desyncing every later request on the connection.  The broker must
+    answer 400, announce ``Connection: close``, and actually close."""
+    with socket.create_connection((broker.host, broker.port),
+                                  timeout=5.0) as sock:
+        sock.sendall(b"PUT /k/x.json HTTP/1.1\r\n"
+                     b"Host: h\r\n"
+                     b"Content-Length: banana\r\n\r\n")
+        stream = sock.makefile("rb")
+        responses = _read_responses(stream, 1)
+        assert len(responses) == 1
+        status, headers, _ = responses[0]
+        assert status == 400
+        assert headers.get("connection") == "close"
+        assert stream.read() == b""  # server closed; no stray bytes
+    # The broker is not wedged: fresh connections serve normally.
+    transport = HttpTransport(broker.url, retries=0)
+    assert transport.get("x.json") is None
+
+
+def test_negative_content_length_gets_400_and_announced_close(broker):
+    with socket.create_connection((broker.host, broker.port),
+                                  timeout=5.0) as sock:
+        sock.sendall(b"PUT /k/x.json HTTP/1.1\r\n"
+                     b"Host: h\r\n"
+                     b"Content-Length: -7\r\n\r\n")
+        stream = sock.makefile("rb")
+        responses = _read_responses(stream, 1)
+        assert [r[0] for r in responses] == [400]
+        assert responses[0][1].get("connection") == "close"
+        assert stream.read() == b""
+
+
+def test_garbage_request_line_gets_400_not_a_hang(broker):
+    # The legacy thread core's error page lacks a status line (stdlib
+    # quirk), so only assert the essentials: a 400-ish refusal arrives
+    # and the connection closes instead of wedging.
+    with socket.create_connection((broker.host, broker.port),
+                                  timeout=5.0) as sock:
+        sock.sendall(b"THIS IS NOT HTTP\r\n\r\n")
+        stream = sock.makefile("rb")
+        data = stream.read()  # returns only because the server closed
+    assert b"400" in data
+
+
+def test_bodies_on_get_and_delete_do_not_desync_keepalive(broker):
+    """Satellite regression: GET/DELETE handlers never drained request
+    bodies, so a client that sent one desynced the keep-alive stream —
+    the leftover bytes parsed as the next request line.  All three
+    pipelined requests below must parse and answer in order."""
+    transport = HttpTransport(broker.url, retries=0)
+    transport.put("k.json", b"v")
+    with socket.create_connection((broker.host, broker.port),
+                                  timeout=5.0) as sock:
+        sock.sendall(
+            b"GET /k/k.json HTTP/1.1\r\nHost: h\r\n"
+            b"Content-Length: 7\r\n\r\npayload"
+            b"DELETE /k/k.json HTTP/1.1\r\nHost: h\r\n"
+            b"Content-Length: 5\r\n\r\nhello"
+            b"GET /healthz HTTP/1.1\r\nHost: h\r\n\r\n")
+        stream = sock.makefile("rb")
+        responses = _read_responses(stream, 3)
+        assert [r[0] for r in responses] == [200, 204, 200]
+        assert responses[0][2] == b"v"
+        assert json.loads(responses[2][2]) == {"ok": True}
+
+
+def test_post_to_unknown_path_drains_body_then_keeps_alive(broker):
+    with socket.create_connection((broker.host, broker.port),
+                                  timeout=5.0) as sock:
+        sock.sendall(
+            b"POST /not-an-endpoint HTTP/1.1\r\nHost: h\r\n"
+            b"Content-Length: 9\r\n\r\nsome body"
+            b"GET /healthz HTTP/1.1\r\nHost: h\r\n\r\n")
+        stream = sock.makefile("rb")
+        responses = _read_responses(stream, 2)
+        assert [r[0] for r in responses] == [404, 200]
+
+
+# -- Broker lifecycle --------------------------------------------------------
+
+@pytest.mark.parametrize("core", CORES)
+def test_stop_before_start_does_not_deadlock(core):
+    """Satellite regression: ``stop()`` is documented idempotent but the
+    thread core's ``shutdown()`` blocked forever when ``serve_forever``
+    never ran.  Run stop on a helper thread and require it to finish."""
+    broker = Broker(core=core)
+    finished = []
+
+    def stopper():
+        broker.stop()
+        finished.append(True)
+
+    thread = threading.Thread(target=stopper, daemon=True)
+    thread.start()
+    thread.join(timeout=5.0)
+    assert not thread.is_alive() and finished, \
+        "stop() before start() must return, not deadlock"
+
+
+@pytest.mark.parametrize("core", CORES)
+def test_stop_is_idempotent_after_start(core):
+    broker = Broker(core=core).start()
+    transport = HttpTransport(broker.url, retries=0)
+    transport.put("k.json", b"v")
+    broker.stop()
+    broker.stop()  # second stop must be a no-op, not a hang or a raise
+
+
+# -- POST /claim contract ----------------------------------------------------
+
+def test_claim_endpoint_wire_format(broker):
+    """The raw wire contract: 200 + JSON outcome document on a win,
+    204 with no body when drained."""
+    transport = HttpTransport(broker.url, retries=1, retry_delay=0.05)
+    queue = WorkQueue(transport=transport, lease_seconds=30.0)
+    job = _spec().expand()[0]
+    queue.enqueue(job, cost=2.5)
+    request = urllib.request.Request(
+        f"{broker.url}/claim?prefix=pending/&worker=wz", data=b"",
+        method="POST")
+    with urllib.request.urlopen(request, timeout=5.0) as response:
+        assert response.status == 200
+        outcome = json.loads(response.read())
+    assert outcome["key"] == job.job_id
+    assert outcome["name"].endswith(f"-{job.job_id}")
+    assert outcome["attempts"] == 0
+    assert outcome["cost"] == 2.5
+    assert outcome["record"]["job"]["case"] == "synthetic"
+    assert outcome["lease"]["worker"] == "wz"
+    assert outcome["etag"]
+    # Everything claimable is claimed: the next pass reports drained.
+    with urllib.request.urlopen(request, timeout=5.0) as response:
+        assert response.status == 204
+        assert response.read() == b""
+
+
+def test_claim_endpoint_validates_parameters(broker):
+    for query in ("prefix=results/", "now=banana", "lease=banana",
+                  "lease=-5", "lease=0", "now=inf"):
+        request = urllib.request.Request(
+            f"{broker.url}/claim?{query}", data=b"", method="POST")
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(request, timeout=5.0)
+        assert caught.value.code == 400, query
+
+
+def test_claim_endpoint_exactly_one_winner_under_concurrency(broker):
+    """Six threads hammering claim() against one broker: every job is
+    claimed exactly once, all through the server-side fast path."""
+    jobs = _spec().expand()
+    setup = WorkQueue(
+        transport=HttpTransport(broker.url, retries=2, retry_delay=0.05),
+        lease_seconds=30.0)
+    for job in jobs:
+        setup.enqueue(job)
+
+    claimed, lock = [], threading.Lock()
+    queues = []
+
+    def worker(wid):
+        queue = WorkQueue(transport=HttpTransport(
+            broker.url, retries=2, retry_delay=0.05))
+        queues.append(queue)
+        while True:
+            item = queue.claim(f"w{wid}")
+            if item is None:
+                break
+            with lock:
+                claimed.append(item)
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30.0)
+
+    assert len(claimed) == len(jobs)
+    assert len({item.key for item in claimed}) == len(jobs)
+    assert setup.counts()["claimed"] == len(jobs)
+    assert all(not queue._claim_fallback for queue in queues), \
+        "claims must ride the server-side fast path, not the fallback"
+
+
+def test_claim_endpoint_corrupt_ticket_claims_at_attempt_zero(broker):
+    """A garbage pending ticket is requeueable bookkeeping, not poison:
+    the server-side scan claims it with ``attempts == 0``."""
+    transport = HttpTransport(broker.url, retries=1, retry_delay=0.05)
+    queue = WorkQueue(transport=transport, lease_seconds=30.0)
+    job = _spec().expand()[0]
+    name = queue.enqueue(job)
+    transport.put(f"pending/{name}.json", b"\x00 not json \x00")
+    item = queue.claim("w0")
+    assert item is not None
+    assert item.key == job.job_id
+    assert item.attempts == 0
+    assert not queue._claim_fallback
+
+
+def test_claim_endpoint_buries_corrupt_job_record_and_scans_on(broker):
+    """A corrupt immutable job record dead-letters server-side and the
+    scan continues to the next ticket — one request still wins a job."""
+    transport = HttpTransport(broker.url, retries=1, retry_delay=0.05)
+    queue = WorkQueue(transport=transport, lease_seconds=30.0)
+    jobs = _spec().expand()[:2]
+    names = [queue.enqueue(job) for job in jobs]
+    first = min(names)  # the scan visits tickets in sorted order
+    first_key = next(job.job_id for job, name in zip(jobs, names)
+                     if name == first)
+    transport.put(f"jobs/{first_key}.json", b"garbage")
+    item = queue.claim("w0")
+    assert item is not None
+    assert item.name == max(names)
+    assert first_key in queue.dead()
+    assert "corrupt job record" in queue.dead()[first_key]["error"]
+
+
+def test_claim_falls_back_against_old_broker(broker):
+    """A broker without ``POST /claim`` answers 404: the transport
+    raises ClaimUnsupported once, the queue memoizes the fallback, and
+    claims keep working through the client-side scan."""
+    broker.dialect.serve_claim = False  # simulate a pre-/claim broker
+    transport = HttpTransport(broker.url, retries=1, retry_delay=0.05)
+    queue = WorkQueue(transport=transport, lease_seconds=30.0)
+    jobs = _spec().expand()[:2]
+    for job in jobs:
+        queue.enqueue(job)
+    item = queue.claim("w0")
+    assert item is not None
+    assert queue._claim_fallback, "the 404 must memoize the fallback"
+    with pytest.raises(ClaimUnsupported):
+        transport.claim_first()  # memoized client-side: no round trip
+    # Later claims go straight to the scan and still work.
+    second = queue.claim("w0")
+    assert second is not None and second.key != item.key
+    queue.complete(item, execute_job(item.job))
+    queue.complete(second, execute_job(second.job))
+    assert queue.drained()
+
+
+def test_fake_clock_and_lease_ride_the_claim_endpoint(broker):
+    """``now`` and ``lease`` travel with the request, so lease expiry
+    arithmetic over the wire matches the client-side scan exactly —
+    including under an injected fake clock."""
+    clock = [1000.0]
+    queue = WorkQueue(
+        transport=HttpTransport(broker.url, retries=1, retry_delay=0.05),
+        lease_seconds=10.0, clock=lambda: clock[0])
+    job = _spec().expand()[0]
+    queue.enqueue(job)
+    assert queue.claim("doomed") is not None
+    assert not queue._claim_fallback
+    assert queue.requeue_expired() == []  # lease live at fake-now
+    clock[0] += 11.0
+    assert queue.requeue_expired() == [job.job_id]
+    retried = queue.claim("rescuer")
+    assert retried is not None and retried.attempts == 1
+    queue.complete(retried, execute_job(retried.job))
+    assert queue.drained()

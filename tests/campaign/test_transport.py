@@ -141,6 +141,78 @@ def test_delete_many_is_conditional_per_item(transport):
     assert transport.list("d/") == []
 
 
+def test_mutate_many_mixes_writes_and_deletes_in_order(transport):
+    """The mixed batch honors each op's own condition and applies in
+    order — the primitive that lets a finished job settle (result +
+    done marker + ticket/claim retirement) in one round trip."""
+    from repro.campaign.dist.transport import ANY
+
+    tag = transport.put("m/k.json", b"v1")
+    transport.put("m/old.json", b"old")
+    outcomes = transport.mutate_many([
+        ("put", "m/result.json", b"R", ANY),       # unconditional write
+        ("put", "m/done.json", b"{}", None),       # conditional create
+        ("put", "m/done.json", b"x", None),        # create again -> conflict
+        ("delete", "m/old.json", None),            # unconditional delete
+        ("delete", "m/k.json", "stale"),           # conditional miss
+        ("delete", "m/k.json", tag),               # conditional hit
+        ("delete", "m/missing.json", None),        # absent key
+    ])
+    assert outcomes == [etag_of(b"R"), etag_of(b"{}"), None,
+                        True, False, True, False]
+    assert transport.get("m/result.json")[0] == b"R"
+    assert transport.get("m/done.json")[0] == b"{}"
+    assert transport.get("m/old.json") is None
+    assert transport.get("m/k.json") is None
+    assert transport.mutate_many([]) == []
+
+
+def test_mutate_many_create_then_delete_same_key_applies_in_order(transport):
+    """Ordering within one batch is observable: a create followed by a
+    delete of the same key leaves the key absent, and both ops report
+    success — proof the batch is not reordered or coalesced."""
+    outcomes = transport.mutate_many([
+        ("put", "seq/x.json", b"v", None),
+        ("delete", "seq/x.json", None),
+    ])
+    assert outcomes == [etag_of(b"v"), True]
+    assert transport.get("seq/x.json") is None
+
+
+# -- retry backoff -----------------------------------------------------------
+
+def test_backoff_delays_are_jittered_and_capped():
+    """Satellite regression: deterministic ``retry_delay * 2**attempt``
+    made a whole fleet retry in lockstep after a broker blip.  Delays
+    must be drawn from ``[0, min(cap, base * 2**attempt)]`` — spread out
+    (full jitter) and never above the cap."""
+    transport = HttpTransport("http://127.0.0.1:1", retries=8,
+                              retry_delay=0.5, retry_max_delay=2.0)
+    for attempt in range(10):
+        ceiling = min(2.0, 0.5 * (2 ** attempt))
+        samples = [transport._backoff_delay(attempt) for _ in range(200)]
+        assert all(0.0 <= s <= ceiling for s in samples)
+    # Full jitter actually spreads: for a wide window the samples must
+    # not collapse onto one value (the old lockstep behavior).
+    spread = [transport._backoff_delay(6) for _ in range(200)]
+    assert max(spread) - min(spread) > 0.2
+    assert max(spread) <= 2.0  # 0.5 * 2**6 = 32s uncapped — must clamp
+
+
+def test_request_retries_sleep_jittered_durations(monkeypatch):
+    """The retry loop consumes ``_backoff_delay`` (not the raw
+    exponential): sleeps against a dead broker stay under the cap."""
+    transport = HttpTransport("http://127.0.0.1:1", retries=3,
+                              retry_delay=10.0, retry_max_delay=0.25)
+    slept = []
+    monkeypatch.setattr("repro.campaign.dist.transport.time.sleep",
+                        slept.append)
+    with pytest.raises(TransportError, match="unreachable"):
+        transport.get("k.json")
+    assert len(slept) == 3  # one sleep per non-final attempt
+    assert all(0.0 <= s <= 0.25 for s in slept)
+
+
 # -- pagination --------------------------------------------------------------
 
 def test_list_page_of_empty_prefix(transport):
@@ -265,16 +337,11 @@ def test_stripe_locks_are_stable_per_prefix():
 def _closing_broker() -> Broker:
     """A broker that closes the TCP connection after *every* response —
     without announcing it (no ``Connection: close`` header), so a pooled
-    client discovers the close only when its next request fails."""
+    client discovers the close only when its next request fails.  The
+    hook is ``BrokerDialect.force_close``, honored by both network
+    cores."""
     broker = Broker()
-    handler = broker._server.RequestHandlerClass
-    original_reply = handler._reply
-
-    def closing_reply(self, *args, **kwargs):
-        original_reply(self, *args, **kwargs)
-        self.close_connection = True  # unannounced: client keeps pooling
-
-    handler._reply = closing_reply
+    broker.dialect.force_close = True  # unannounced: client keeps pooling
     return broker
 
 
