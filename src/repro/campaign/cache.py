@@ -36,6 +36,7 @@ from typing import Any, Dict, Optional
 
 from repro.campaign.jobs import result_from_record_or_none
 from repro.campaign.jsonio import json_dumps_bytes, json_loads_or_none
+from repro.campaign.obs import get_registry
 from repro.campaign.spec import JobSpec, canonical_json
 
 #: Version of the simulated physics.  Bump this when an intentional change
@@ -84,6 +85,20 @@ class TransportResultCache:
         self.physics_version = physics_version
         self.hits = 0
         self.misses = 0
+        # Mirrored into the process-wide metrics registry so cache
+        # behaviour shows up in worker heartbeat snapshots alongside
+        # transport and queue counters (the instance attributes above
+        # remain the per-instance accounting the docstring describes).
+        self._probe_counter = get_registry().counter(
+            "cache_probes_total", "cache probes, by outcome")
+
+    def _count_probe(self, hit: bool) -> None:
+        if hit:
+            self.hits += 1
+            self._probe_counter.inc(outcome="hit")
+        else:
+            self.misses += 1
+            self._probe_counter.inc(outcome="miss")
 
     @property
     def address(self) -> Optional[str]:
@@ -148,9 +163,9 @@ class TransportResultCache:
         # Defend against hash collisions and stale schema: the stored spec
         # must round-trip to the same job content.
         if record is None or not self._stores_job(record, job):
-            self.misses += 1
+            self._count_probe(hit=False)
             return None
-        self.hits += 1
+        self._count_probe(hit=True)
         return record
 
     def get_many(self, jobs) -> list:
@@ -173,10 +188,10 @@ class TransportResultCache:
         for job, got in zip(jobs, fetched):
             record = json_loads_or_none(got[0]) if got is not None else None
             if record is None or not self._stores_job(record, job):
-                self.misses += 1
+                self._count_probe(hit=False)
                 records.append(None)
             else:
-                self.hits += 1
+                self._count_probe(hit=True)
                 records.append(record)
         return records
 

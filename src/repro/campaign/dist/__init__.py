@@ -39,9 +39,17 @@ that any mix of threads, processes and hosts can participate in:
   executors, so ``run_campaign(spec, executor=DistributedExecutor(...))``
   is the only change a campaign needs.
 
+The whole stack is instrumented through :mod:`repro.campaign.obs`
+(metrics registry, job spans, structured logs): the broker serves its
+counters on ``GET /stats``, workers attach throughput snapshots to
+heartbeat renewals, the executor can write a Perfetto-loadable
+``trace.json`` per ``map`` (``trace_path=``), and
+``python -m repro.campaign.dist.stats <broker-url> --watch`` renders the
+live fleet summary.
+
 Architecture notes live in ``docs/architecture.md``; the queue state
-machine, transports and operational recipes in ``docs/distributed.md``
-and ``docs/cookbook.md``.
+machine, transports and operational recipes in ``docs/distributed.md``,
+``docs/cookbook.md`` and ``docs/observability.md``.
 """
 
 from repro.campaign.dist.costmodel import AutoscalePolicy, CostModel

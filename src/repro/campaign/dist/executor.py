@@ -64,6 +64,11 @@ from repro.campaign.dist.transport import (
     transport_from_address,
 )
 from repro.campaign.jobs import JobResult, execute_job
+from repro.campaign.obs import (
+    SpanRecorder,
+    StructLogger,
+    spans_from_result_records,
+)
 from repro.campaign.spec import JobSpec
 
 
@@ -177,6 +182,13 @@ class DistributedExecutor:
         Per-worker extra :class:`~repro.campaign.dist.worker.Worker`
         keyword arguments (``worker_options[i]`` for worker *i*) — the
         thread-fleet analogue of ``worker_extra_args``.
+    trace_path:
+        When set, every ``map`` call reconstructs per-job spans
+        (queue-wait → run → store, one lane per worker) from the settled
+        result records and writes a Chrome-trace JSON file there — load
+        it in Perfetto or ``about:tracing`` to see how the fleet spent
+        its time.  Best-effort: trace IO failures never fail the
+        campaign.
     """
 
     name = "distributed"
@@ -195,7 +207,8 @@ class DistributedExecutor:
                  autoscale: Optional[AutoscalePolicy] = None,
                  worker_extra_args: Optional[Sequence[Sequence[str]]] = None,
                  worker_options: Optional[Sequence[Dict[str, Any]]] = None,
-                 progress: Optional[Callable[[str], None]] = None):
+                 progress: Optional[Callable[[str], None]] = None,
+                 trace_path: Union[str, os.PathLike, None] = None):
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self.queue_dir = Path(queue_dir) if queue_dir is not None else None
@@ -215,6 +228,10 @@ class DistributedExecutor:
         self.worker_options = [dict(options)
                                for options in (worker_options or [])]
         self._say = progress or (lambda _line: None)
+        self.trace_path = Path(trace_path) if trace_path is not None else None
+        #: Structured fleet events (autoscale decisions, trace writes) on
+        #: stderr — machine-greppable, never mixed into program output.
+        self._events = StructLogger("executor")
         #: Queue of the most recent ``map`` call, for inspection/snapshots.
         self.last_queue: Optional[WorkQueue] = None
         self.respawns = 0
@@ -329,6 +346,8 @@ class DistributedExecutor:
                     handle.kill()
 
         results = self._collect(queue, jobs)
+        if self.trace_path is not None:
+            self._write_trace(queue)
         try:
             cost_model.observe_many(result for result in results
                                     if not result.cached)
@@ -452,12 +471,30 @@ class DistributedExecutor:
                 handles.append(self._spawn(queue, len(handles)))
             time.sleep(self.poll_interval)
 
+    def _write_trace(self, queue: WorkQueue) -> None:
+        """Rebuild per-job spans from the settled result records and write
+        a Chrome-trace ``trace.json`` (Perfetto / ``about:tracing``)."""
+        recorder = SpanRecorder(process="campaign")
+        try:
+            recorder.add(spans_from_result_records(queue.result_records()))
+            written = recorder.write_chrome_trace(self.trace_path)
+        except (OSError, TransportError) as exc:
+            # Telemetry is best-effort: a full disk or a broker dying
+            # *after* the drain must not fail a campaign whose results
+            # are already in hand.
+            self._events.event("trace-error", path=str(self.trace_path),
+                               error=f"{type(exc).__name__}: {exc}")
+            return
+        self._say(f"wrote {written} trace events to {self.trace_path}")
+        self._events.event("trace", path=str(self.trace_path), events=written)
+
     def _autoscale_tick(self, queue: WorkQueue, handles: List[Any]) -> None:
         """Grow the fleet toward the policy's target (shrink is attrition)."""
         if self.autoscale is None:
             return
         live = sum(1 for h in handles if h.poll() is None)
-        desired = self.autoscale.desired_from(queue.backlog())
+        backlog = queue.backlog()
+        desired = self.autoscale.desired_from(backlog)
         if desired <= live:
             return
         if live == 0 and handles:
@@ -480,6 +517,21 @@ class DistributedExecutor:
             handles.append(self._spawn(queue, len(handles)))
         self._say(f"autoscale: {live} live workers -> {desired} "
                   f"(spawned {desired - live})")
+        # Structured decision record: the policy's inputs (backlog depth
+        # and cost) and, when workers heartbeat metrics snapshots, the
+        # fleet's observed throughput — so a scale-up is auditable from
+        # stderr alone.
+        try:
+            fleet = queue.worker_metrics()
+        except (OSError, TransportError):
+            fleet = {}
+        throughput = sum(float(m.get("jobs_per_second", 0.0))
+                         for m in fleet.values())
+        self._events.event(
+            "autoscale", live=live, desired=desired, spawned=desired - live,
+            pending=int(backlog.get("pending", 0.0)),
+            backlog_seconds=backlog.get("seconds", 0.0),
+            reporting_workers=len(fleet), jobs_per_second=throughput)
 
     # -- result collection -------------------------------------------------
     def _collect(self, queue: WorkQueue, jobs: List[JobSpec]) -> List[JobResult]:

@@ -64,6 +64,7 @@ from repro.campaign.dist.transport import (
 )
 from repro.campaign.jobs import JobResult, result_from_record_or_none
 from repro.campaign.jsonio import json_dumps_bytes, json_loads_or_none
+from repro.campaign.obs import MetricsRegistry, get_registry
 from repro.campaign.spec import JobSpec
 
 #: Priority strings are fixed-width so lexicographic order == numeric order.
@@ -167,7 +168,8 @@ def _bury_over(transport: QueueTransport, ns: str, name: str, key: str,
 
 def claim_first_over(transport: QueueTransport, prefix: str = "pending/",
                      worker: str = "", now: Optional[float] = None,
-                     lease_seconds: Optional[float] = None
+                     lease_seconds: Optional[float] = None,
+                     registry: Optional[MetricsRegistry] = None
                      ) -> Optional[Dict[str, Any]]:
     """Run one scan-probe-CAS claim pass over a bare transport.
 
@@ -193,9 +195,16 @@ def claim_first_over(transport: QueueTransport, prefix: str = "pending/",
     response body.  Corrupt bookkeeping never aborts the scan: a garbage
     ticket claims at attempt 0, a corrupt job record is dead-lettered
     and the scan continues.
+
+    ``registry`` receives the pass's claim-conflict and dead-letter
+    counters: the broker passes its own (so ``GET /stats`` reports
+    fleet-wide contention), client-side scans default to the
+    process-wide registry.
     """
     if not prefix.endswith("pending/"):
         raise ValueError(f"claim prefix must end with 'pending/': {prefix!r}")
+    if registry is None:
+        registry = get_registry()
     ns = prefix[:-len("pending/")]
     if now is None:
         now = time.time()
@@ -219,7 +228,7 @@ def claim_first_over(transport: QueueTransport, prefix: str = "pending/",
         for start in range(0, len(candidates), _CLAIM_WINDOW):
             outcome = _claim_window_over(
                 transport, ns, candidates[start:start + _CLAIM_WINDOW],
-                worker, now, lease_seconds)
+                worker, now, lease_seconds, registry)
             if outcome is not None:
                 return outcome
         if token is None:
@@ -228,7 +237,8 @@ def claim_first_over(transport: QueueTransport, prefix: str = "pending/",
 
 
 def _claim_window_over(transport: QueueTransport, ns: str, candidates,
-                       worker: str, now: float, lease_seconds: float
+                       worker: str, now: float, lease_seconds: float,
+                       registry: Optional[MetricsRegistry] = None
                        ) -> Optional[Dict[str, Any]]:
     """Try to claim one of ``candidates`` (one window of pending names,
     priority-ordered); returns the claim outcome dict or ``None``."""
@@ -268,6 +278,8 @@ def _claim_window_over(transport: QueueTransport, ns: str, candidates,
             # so this branch simply never fires there.)
             got = transport.get(f"{ns}claims/{name}.json")
             if got is None or got[0] != payload:
+                if registry is not None:
+                    registry.counter("queue_claim_conflicts_total").inc()
                 continue  # genuinely someone else's claim
             etag = got[1]
         # Read the (immutable) job record only after winning: losers of a
@@ -281,6 +293,9 @@ def _claim_window_over(transport: QueueTransport, ns: str, candidates,
             _bury_over(transport, ns, name, key, attempts,
                        error="corrupt job record (unreadable spec)",
                        record=record)
+            if registry is not None:
+                registry.counter("queue_dead_letters_total").inc(
+                    reason="corrupt-record")
             continue
         try:
             JobSpec.from_record(record["job"])
@@ -288,6 +303,9 @@ def _claim_window_over(transport: QueueTransport, ns: str, candidates,
             _bury_over(transport, ns, name, key, attempts,
                        error="corrupt job record (bad spec fields)",
                        record=record)
+            if registry is not None:
+                registry.counter("queue_dead_letters_total").inc(
+                    reason="corrupt-record")
             continue
         return {"name": name, "key": key, "etag": etag,
                 "attempts": attempts,
@@ -312,6 +330,11 @@ class WorkItem:
     cost: float = 0.0
     worker: str = ""
     etag: str = ""
+    #: Timestamps for the per-job trace spans (queue-wait → run → store):
+    #: when the job record was created and when this claim was taken.
+    #: ``None`` on records from pre-telemetry enqueuers.
+    enqueued_at: Optional[float] = None
+    claimed_at: Optional[float] = None
 
 
 class WorkQueue:
@@ -347,13 +370,15 @@ class WorkQueue:
                  lease_seconds: float = 30.0,
                  max_attempts: int = 3,
                  clock: Callable[[], float] = time.time,
-                 transport: Optional[QueueTransport] = None):
+                 transport: Optional[QueueTransport] = None,
+                 registry: Optional[MetricsRegistry] = None):
         if transport is None:
             if root is None:
                 raise ValueError("WorkQueue needs a root directory or a "
                                  "transport")
             transport = FsTransport(root)
         self.transport = transport
+        self.registry = registry if registry is not None else get_registry()
         self.root = (Path(transport.root) if isinstance(transport, FsTransport)
                      else None)
         self._clock = clock
@@ -436,8 +461,12 @@ class WorkQueue:
             name = record.get("name") or f"{priority_for_cost(cost)}-{key}"
         else:
             name = f"{priority_for_cost(cost)}-{key}"
+            # enqueued_at anchors the per-job queue-wait span (see
+            # obs.spans.spans_from_result_records); the record stays
+            # immutable — losers of the creation race adopt the winner's
+            # timestamp along with its ticket name.
             payload = {"job": job.to_record(), "cost": float(cost),
-                       "name": name}
+                       "name": name, "enqueued_at": self._clock()}
             if self.transport.cas(f"jobs/{key}.json",
                                   json_dumps_bytes(payload),
                                   if_match=None) is None:
@@ -500,7 +529,7 @@ class WorkQueue:
             else:
                 name = f"{priority_for_cost(cost)}-{job.job_id}"
                 payload = {"job": job.to_record(), "cost": float(cost),
-                           "name": name}
+                           "name": name, "enqueued_at": self._clock()}
                 creates.append((index, json_dumps_bytes(payload)))
                 names.append(name)
         if creates:
@@ -583,14 +612,14 @@ class WorkQueue:
             # (version skew): it was buried client-side; rescan.
         outcome = claim_first_over(
             self.transport, worker=worker, now=self._clock(),
-            lease_seconds=self.lease_seconds)
+            lease_seconds=self.lease_seconds, registry=self.registry)
         while outcome is not None:
             item = self._item_from_outcome(outcome, worker)
             if item is not None:
                 return item
             outcome = claim_first_over(
                 self.transport, worker=worker, now=self._clock(),
-                lease_seconds=self.lease_seconds)
+                lease_seconds=self.lease_seconds, registry=self.registry)
         return None
 
     def _item_from_outcome(self, outcome: Dict[str, Any],
@@ -616,20 +645,42 @@ class WorkQueue:
                        error="corrupt job record (bad spec fields)")
             return None
         cost = float(outcome.get("cost", 0.0) or 0.0)
+        lease = outcome.get("lease")
+        lease = lease if isinstance(lease, dict) else {}
+
+        def _stamp(value: Any) -> Optional[float]:
+            try:
+                return float(value) if value is not None else None
+            except (TypeError, ValueError):
+                return None
+
         return WorkItem(name=name, key=key, job=job, attempts=attempts,
                         cost=cost, worker=worker,
-                        etag=str(outcome.get("etag", "") or ""))
+                        etag=str(outcome.get("etag", "") or ""),
+                        enqueued_at=_stamp(record.get("enqueued_at")),
+                        claimed_at=_stamp(lease.get("claimed_at")))
 
-    def heartbeat(self, item: WorkItem) -> bool:
+    def heartbeat(self, item: WorkItem,
+                  metrics: Optional[Dict[str, Any]] = None) -> bool:
         """Extend the lease of a claimed job (call while executing).
 
         Renewal is a compare-and-swap on the claim document, so a lease
         the scavenger already reclaimed (or another worker re-claimed)
         cannot be resurrected.  Returns ``True`` when the lease is still
         ours and was extended.
+
+        ``metrics`` (a JSON-safe dict, e.g. :meth:`~repro.campaign.dist.
+        worker.Worker.metrics_snapshot`) rides along in the renewed
+        claim document, where :meth:`worker_metrics` — and through it
+        the executor's autoscale tick — can read per-worker throughput
+        without any extra round trips or side channels.  The *initial*
+        claim document never carries metrics, so the claim path's
+        own-write byte comparison is unaffected.
         """
-        payload = json_dumps_bytes(self._lease_payload(
-            item.worker, item.attempts, self._clock()))
+        doc = self._lease_payload(item.worker, item.attempts, self._clock())
+        if metrics:
+            doc["metrics"] = metrics
+        payload = json_dumps_bytes(doc)
         etag = self.transport.cas(f"claims/{item.name}.json", payload,
                                   if_match=item.etag)
         if etag is None:
@@ -649,7 +700,8 @@ class WorkQueue:
         return True
 
     # -- settle ------------------------------------------------------------
-    def complete(self, item: WorkItem, result: JobResult) -> None:
+    def complete(self, item: WorkItem, result: JobResult,
+                 timing: Optional[Dict[str, Any]] = None) -> None:
         """Persist ``result`` and retire the claim.
 
         The result record is the commit point: it is written *before* the
@@ -663,6 +715,14 @@ class WorkQueue:
         Settling is *one* mixed batch round trip (``mutate_many``): the
         result record, then the done marker, then the retirements —
         batches apply in order, so the result is still the commit point.
+
+        ``timing`` (unix-second stamps: ``enqueued_at``, ``claimed_at``,
+        ``started_at``, ``finished_at``, ``stored_at``) is persisted
+        inside the result record; :func:`repro.campaign.obs.spans.
+        spans_from_result_records` rebuilds per-job queue-wait → run →
+        store trace spans from it — telemetry travels through the queue
+        itself, so it works across processes and hosts with no side
+        channel.
         """
         record = {
             "result": result.to_record(),
@@ -670,6 +730,8 @@ class WorkQueue:
             "worker": item.worker,
             "attempts": item.attempts + 1,
         }
+        if timing:
+            record["timing"] = dict(timing)
         self.transport.mutate_many([
             ("put", f"results/{item.key}.json", json_dumps_bytes(record),
              ANY),
@@ -702,6 +764,8 @@ class WorkQueue:
         attempts = item.attempts + 1
         if attempts >= self.max_attempts:
             self._bury(item.name, item.key, attempts, error=error)
+            self.registry.counter("queue_dead_letters_total").inc(
+                reason="failed")
             return "dead"
         # Fold the attempt into the ticket first, then release the claim
         # (the release is the commit point, mirroring claim): the requeue
@@ -776,6 +840,8 @@ class WorkQueue:
                 self._bury(name, key, attempts,
                            error=f"lease expired after {attempts} attempts "
                                  f"(worker crash or hang)")
+                self.registry.counter("queue_dead_letters_total").inc(
+                    reason="lease-expired")
                 continue
             # Re-create the ticket if a crashed settle removed it, fold in
             # the attempt count, then release the claim — conditionally,
@@ -783,6 +849,9 @@ class WorkQueue:
             self._put_json(f"pending/{name}.json", {"attempts": attempts})
             if self._delete(f"claims/{name}.json", if_match=etag):
                 requeued.append(key)
+        if requeued:
+            self.registry.counter("queue_lease_expiries_total").inc(
+                len(requeued))
         return requeued
 
     def retry_dead(self, keys: Optional[Iterable[str]] = None) -> List[str]:
@@ -887,6 +956,37 @@ class WorkQueue:
                                                      0.0)) > now:
                 live.append(self._key_of(name))
         return live
+
+    def worker_metrics(self, now: Optional[float] = None
+                       ) -> Dict[str, Dict[str, Any]]:
+        """Per-worker metrics snapshots from live claim documents.
+
+        Workers attach :meth:`~repro.campaign.dist.worker.Worker.
+        metrics_snapshot` to every heartbeat renewal (see
+        :meth:`heartbeat`), so the claims/ state doubles as a fleet
+        health board: one batched read per call, no extra protocol.
+        Returns ``{worker_id: metrics}`` for workers holding a live
+        lease whose renewal carried metrics; a worker holding several
+        claims reports its freshest snapshot.
+        """
+        now = self._clock() if now is None else now
+        names = [name for name in self._names("claims")
+                 if self._key_of(name) is not None]
+        out: Dict[str, Dict[str, Any]] = {}
+        for got in self.transport.get_many(
+                [f"claims/{name}.json" for name in names]):
+            lease = json_loads_or_none(got[0]) if got is not None else None
+            if not lease or float(lease.get("expires_at", 0.0)) <= now:
+                continue
+            metrics = lease.get("metrics")
+            worker = str(lease.get("worker", "") or "")
+            if not worker or not isinstance(metrics, dict):
+                continue
+            held = out.get(worker)
+            if (held is None or float(metrics.get("at", 0.0))
+                    >= float(held.get("at", 0.0))):
+                out[worker] = metrics
+        return out
 
     def terminal_keys(self) -> set:
         """Keys in a terminal state (result persisted or dead-lettered).

@@ -54,8 +54,13 @@ Design:
 * **Dialect** (see :class:`~repro.campaign.dist.transport.HttpTransport`):
   ``GET/PUT/DELETE /k/<key>`` with ``ETag``/``If-Match``/``If-None-Match``
   headers, ``GET /list?prefix=<p>`` → ``{"keys": [...]}``,
-  ``POST /batch``, ``POST /claim`` and ``GET /healthz`` for liveness
-  probes.  Connections are HTTP/1.1 keep-alive: one TCP connection
+  ``POST /batch``, ``POST /claim``, ``GET /healthz`` for liveness
+  probes and ``GET /stats`` for the telemetry snapshot the
+  ``python -m repro.campaign.dist.stats`` dashboard polls (per-route
+  request counts and latency histograms, in-flight gauge, bytes in/out,
+  claim outcomes, stripe-lock contention — all from the per-dialect
+  :class:`~repro.campaign.obs.metrics.MetricsRegistry`).  Connections
+  are HTTP/1.1 keep-alive: one TCP connection
   carries a whole campaign.  Malformed requests (bad ``Content-Length``,
   garbage request line) are answered with 400 and an *announced*
   connection close — never a desynced keep-alive stream.
@@ -76,12 +81,14 @@ import math
 import os
 import socket
 import threading
+import time
 import urllib.parse
 import zlib
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.campaign.jsonio import json_dumps_bytes, json_loads_or_none
+from repro.campaign.obs import MetricsRegistry, StructLogger
 from repro.campaign.dist.queue import claim_first_over
 from repro.campaign.dist.transport import (
     FsTransport,
@@ -108,6 +115,35 @@ _MAX_HEADERS = 100
 SERVER_VERSION = "repro-queue-broker/3.0"
 
 
+class _ContentionLock:
+    """One stripe: a lock that counts the acquisitions it had to wait for.
+
+    A miss on the non-blocking fast path means another request held the
+    stripe — that is exactly the contention signal the ``/stats``
+    ``broker_lock_contention_total`` counter reports (and the metric
+    that will justify, or veto, more stripes / key-level locks later).
+    The extra non-blocking attempt on the uncontended path is tens of
+    nanoseconds — invisible next to a broker request.
+    """
+
+    __slots__ = ("_lock", "_stripe", "on_contention")
+
+    def __init__(self, stripe: int):
+        self._lock = threading.Lock()
+        self._stripe = stripe
+        self.on_contention: Optional[Callable[[int], None]] = None
+
+    def __enter__(self) -> "_ContentionLock":
+        if not self._lock.acquire(blocking=False):
+            if self.on_contention is not None:
+                self.on_contention(self._stripe)
+            self._lock.acquire()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self._lock.release()
+
+
 class StripeLocks:
     """Per-prefix stripe locks: mutations on one key always serialize,
     mutations on unrelated prefixes proceed concurrently.
@@ -118,16 +154,24 @@ class StripeLocks:
     broker could share the mapping.  Under the asyncio core every
     acquisition is uncontended (the dialect runs on one loop thread);
     they are kept because the ``thread`` core shares the same dialect.
+
+    Contended acquisitions are observable: :meth:`bind_contention` hooks
+    a callback (the dialect wires its contention counter in) that fires
+    with the stripe index whenever an acquisition had to wait.
     """
 
     def __init__(self, stripes: int = DEFAULT_LOCK_STRIPES):
-        self._locks = [threading.Lock()
-                       for _ in range(max(1, int(stripes)))]
+        self._locks = [_ContentionLock(i)
+                       for i in range(max(1, int(stripes)))]
 
     def __len__(self) -> int:
         return len(self._locks)
 
-    def for_key(self, key: str) -> threading.Lock:
+    def bind_contention(self, callback: Callable[[int], None]) -> None:
+        for lock in self._locks:
+            lock.on_contention = callback
+
+    def for_key(self, key: str) -> _ContentionLock:
         prefix = key.split("/", 1)[0]
         return self._locks[zlib.crc32(prefix.encode("utf-8"))
                            % len(self._locks)]
@@ -165,6 +209,11 @@ class BrokerDialect:
         When false, ``POST /claim`` answers 404 — simulating an old
         broker, so the client-side fallback path stays testable after
         brokers learn the endpoint.
+
+    Every dialect owns a private :class:`~repro.campaign.obs.metrics.
+    MetricsRegistry` (per-broker isolation — two brokers in one test
+    process must not share counters) whose snapshot ``GET /stats``
+    serves; see docs/observability.md for the family catalogue.
     """
 
     def __init__(self, store: QueueTransport, locks: StripeLocks,
@@ -174,18 +223,78 @@ class BrokerDialect:
         self.verbose = verbose
         self.force_close = False
         self.serve_claim = True
+        self.core_name: Optional[str] = None  # set by the serving core
+        self.started_at = time.time()
+        self.log = StructLogger("broker", enabled=verbose)
+        self.registry = MetricsRegistry()
+        self._requests = self.registry.counter(
+            "broker_requests_total", "requests served, by route/method/status")
+        self._latency = self.registry.histogram(
+            "broker_request_seconds", "dialect handling latency, by route")
+        self._inflight = self.registry.gauge(
+            "broker_inflight_requests", "requests currently inside handle()")
+        self._bytes_in = self.registry.counter(
+            "broker_bytes_in_total", "request body bytes received")
+        self._bytes_out = self.registry.counter(
+            "broker_bytes_out_total", "response body bytes sent")
+        self._claims = self.registry.counter(
+            "broker_claims_total", "POST /claim outcomes")
+        contention = self.registry.counter(
+            "broker_lock_contention_total",
+            "stripe-lock acquisitions that had to wait, by stripe")
+        locks.bind_contention(
+            lambda stripe: contention.inc(stripe=stripe))
+
+    @staticmethod
+    def _route(method: str, path: str) -> str:
+        """Collapse the target into a bounded label set (every ``/k/...``
+        key is one route — labels must not grow with the keyspace)."""
+        if path.startswith("/k/"):
+            return "/k"
+        if path in ("/healthz", "/list", "/batch", "/claim", "/stats"):
+            return path
+        return "other"
 
     # -- dispatch ----------------------------------------------------------
     def handle(self, method: str, target: str,
                headers: Dict[str, str], body: bytes) -> _Reply:
-        """Answer one parsed request.  ``headers`` keys are lowercase."""
+        """Answer one parsed request.  ``headers`` keys are lowercase.
+
+        This wrapper is the metering point shared by both network cores:
+        per-route request counts, latency, in-flight level, body bytes in
+        and out, plus the ``--verbose`` access line (to stderr — stdout
+        stays reserved for program output).
+        """
         parsed = urllib.parse.urlsplit(target)
-        path = parsed.path
+        route = self._route(method, parsed.path)
+        self._inflight.inc()
+        start = time.perf_counter()
+        try:
+            reply = self._dispatch(method, parsed.path, parsed.query,
+                                   headers, body)
+        finally:
+            elapsed = time.perf_counter() - start
+            self._inflight.dec()
+        self._latency.observe(elapsed, route=route)
+        self._requests.inc(route=route, method=method, status=reply.status)
+        if body:
+            self._bytes_in.inc(len(body), route=route)
+        if reply.body:
+            self._bytes_out.inc(len(reply.body), route=route)
+        if self.verbose:
+            self.log.event("request", method=method, target=target,
+                           status=reply.status, ms=elapsed * 1000.0)
+        return reply
+
+    def _dispatch(self, method: str, path: str, query: str,
+                  headers: Dict[str, str], body: bytes) -> _Reply:
         if method == "GET":
             if path == "/healthz":
                 return _Reply(200, json_dumps_bytes({"ok": True}))
             if path == "/list":
-                return self._list(parsed.query)
+                return self._list(query)
+            if path == "/stats":
+                return self._stats()
             return self._get(path)
         if method == "PUT":
             return self._put(path, headers, body)
@@ -195,9 +304,32 @@ class BrokerDialect:
             if path == "/batch":
                 return self._batch(body)
             if path == "/claim":
-                return self._claim(parsed.query)
+                return self._claim(query)
             return _Reply(404)
         return _Reply(501)
+
+    # -- /stats ------------------------------------------------------------
+    def _stats(self) -> _Reply:
+        """``GET /stats`` → the broker's telemetry snapshot.
+
+        ``{"server": {...identity/uptime...}, "metrics": <registry
+        snapshot>}`` — see docs/distributed.md for the wire format and
+        docs/observability.md for the metric families.  Always 200, even
+        on a broker that has served nothing (the ``dist.stats`` CLI's
+        first poll must not 404).
+        """
+        payload = {
+            "server": {
+                "version": SERVER_VERSION,
+                "core": self.core_name,
+                "store": type(self.store).__name__,
+                "lock_stripes": len(self.locks),
+                "started_at": self.started_at,
+                "uptime_seconds": max(0.0, time.time() - self.started_at),
+            },
+            "metrics": self.registry.snapshot(),
+        }
+        return _Reply(200, json_dumps_bytes(payload))
 
     @staticmethod
     def _key(path: str) -> Optional[str]:
@@ -371,6 +503,7 @@ class BrokerDialect:
         whole scan.
         """
         if not self.serve_claim:
+            self._claims.inc(outcome="disabled")
             return _Reply(404)
         query = urllib.parse.parse_qs(query_string)
         prefix = (query.get("prefix") or ["pending/"])[0]
@@ -378,6 +511,7 @@ class BrokerDialect:
         raw_now = (query.get("now") or [None])[0]
         raw_lease = (query.get("lease") or [None])[0]
         if not prefix.endswith("pending/"):
+            self._claims.inc(outcome="bad_request")
             return _Reply(400, json_dumps_bytes(
                 {"error": f"prefix must end with 'pending/': {prefix!r}"}))
         now: Optional[float] = None
@@ -387,6 +521,7 @@ class BrokerDialect:
             except ValueError:
                 now = math.nan
             if not math.isfinite(now):
+                self._claims.inc(outcome="bad_request")
                 return _Reply(400, json_dumps_bytes(
                     {"error": f"bad now: {raw_now!r}"}))
         lease: Optional[float] = None
@@ -396,12 +531,16 @@ class BrokerDialect:
             except ValueError:
                 lease = math.nan
             if not (math.isfinite(lease) and lease > 0):
+                self._claims.inc(outcome="bad_request")
                 return _Reply(400, json_dumps_bytes(
                     {"error": f"bad lease: {raw_lease!r}"}))
         outcome = claim_first_over(self.store, prefix=prefix, worker=worker,
-                                   now=now, lease_seconds=lease)
+                                   now=now, lease_seconds=lease,
+                                   registry=self.registry)
         if outcome is None:
+            self._claims.inc(outcome="empty")
             return _Reply(204)
+        self._claims.inc(outcome="claimed")
         return _Reply(200, json_dumps_bytes(outcome))
 
 
@@ -482,9 +621,16 @@ class _BrokerHandler(BaseHTTPRequestHandler):
     do_POST = _handle   # noqa: N815
     do_DELETE = _handle  # noqa: N815
 
+    def log_request(self, code: Any = "-", size: Any = "-") -> None:
+        pass  # the dialect emits one structured access line per request
+
     def log_message(self, fmt: str, *args) -> None:  # noqa: D102
+        # http.server's own messages — parse errors the dialect never
+        # sees — routed through the same stderr structured logger as the
+        # dialect's access lines (no bare interleaved prints).
         if self.dialect is not None and self.dialect.verbose:
-            BaseHTTPRequestHandler.log_message(self, fmt, *args)
+            self.dialect.log.event("http", message=fmt % args,
+                                   client=self.address_string())
 
 
 def make_server(host: str = "127.0.0.1", port: int = 0,
@@ -506,6 +652,8 @@ def make_server(host: str = "127.0.0.1", port: int = 0,
                                  else MemoryTransport())
         dialect = BrokerDialect(store, StripeLocks(lock_stripes),
                                 verbose=verbose)
+    if dialect.core_name is None:
+        dialect.core_name = "thread"
     handler = type("BoundBrokerHandler", (_BrokerHandler,),
                    {"dialect": dialect})
     ThreadingHTTPServer.allow_reuse_address = True
@@ -634,9 +782,8 @@ async def _serve_connection(dialect: BrokerDialect,
             # Unannounced close after the reply: the stale-keep-alive
             # test hook (see BrokerDialect.force_close).
             close, announce = True, False
-        if dialect.verbose:
-            print(f"[broker] {method} {target} -> {reply.status}",
-                  flush=True)
+        # Access lines come from the dialect itself (stderr, structured)
+        # — verbose output no longer interleaves with program stdout.
         try:
             writer.write(_render_response(reply.status, reply.body,
                                           reply.etag, announce))
@@ -680,6 +827,7 @@ class Broker:
                                  else MemoryTransport())
         self.dialect = BrokerDialect(store, StripeLocks(lock_stripes),
                                      verbose=verbose)
+        self.dialect.core_name = core
         self._thread: Optional[threading.Thread] = None
         self._server: Optional[ThreadingHTTPServer] = None
         self._sock: Optional[socket.socket] = None
@@ -863,12 +1011,16 @@ def main(argv: Optional[list] = None) -> int:
                     verbose=args.verbose, lock_stripes=args.lock_stripes,
                     core=args.core)
     backing = args.data_dir or "memory (volatile)"
+    # The listening line is *program output* (scripts read the URL from
+    # it) and stays on stdout; every diagnostic goes through the
+    # dialect's structured stderr logger.
     print(f"queue broker listening on {broker.url} "
           f"(core: {broker.core}, store: {backing})", flush=True)
+    log = StructLogger("broker")
     try:
         broker.serve_forever()
     except KeyboardInterrupt:
-        print("broker shutting down", flush=True)
+        log.event("shutdown", reason="keyboard-interrupt")
     finally:
         broker.stop()
     return 0

@@ -114,6 +114,7 @@ from repro.campaign.jsonio import (
     json_loads_or_none,
     read_bytes_or_none,
 )
+from repro.campaign.obs import MetricsRegistry, get_registry
 
 #: ``put_many`` condition meaning *unconditional write* (no If-Match /
 #: If-None-Match).  A plain ``"*"`` so it survives JSON serialization in
@@ -643,7 +644,8 @@ class HttpTransport(QueueTransport):
 
     def __init__(self, base_url: str, retries: int = 5,
                  retry_delay: float = 0.2, timeout: float = 10.0,
-                 retry_max_delay: float = 5.0):
+                 retry_max_delay: float = 5.0,
+                 registry: Optional[MetricsRegistry] = None):
         self.base_url = base_url.rstrip("/")
         self.retries = max(0, int(retries))
         self.retry_delay = retry_delay
@@ -657,6 +659,23 @@ class HttpTransport(QueueTransport):
         self._port = parsed.port
         self._prefix = parsed.path.rstrip("/")
         self._local = threading.local()
+        # Client-side telemetry (defaults to the process-wide registry —
+        # one snapshot describes a whole worker process): per-op latency,
+        # retry pressure, and pooled-connection reuse.  The increments
+        # are nanoseconds next to an HTTP round trip; the BENCH_obs.json
+        # benchmark pins the overhead and the transport bench floor
+        # (250 cycles/s per core) still gates CI with these on.
+        registry = registry if registry is not None else get_registry()
+        self._ops = registry.counter(
+            "transport_ops_total", "HTTP exchanges issued, by op")
+        self._op_seconds = registry.histogram(
+            "transport_op_seconds", "end-to-end op latency incl. retries")
+        self._retries = registry.counter(
+            "transport_retries_total",
+            "re-sent requests: free (stale pooled socket) vs backoff")
+        self._connections = registry.counter(
+            "transport_connections_total",
+            "pooled connections opened vs exchanges that reused one")
 
     # -- connection pooling ------------------------------------------------
     def _connection(self) -> http.client.HTTPConnection:
@@ -673,6 +692,9 @@ class HttpTransport(QueueTransport):
             conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             self._local.conn = conn
             self._local.used = False
+            self._connections.inc(event="opened")
+        else:
+            self._connections.inc(event="reused")
         return conn
 
     def _discard_connection(self) -> None:
@@ -732,27 +754,48 @@ class HttpTransport(QueueTransport):
         """
         if idempotent is None:
             idempotent = method == "GET"
-        last_error: Optional[Exception] = None
-        for attempt in range(self.retries + 1):
-            try:
-                return self._exchange(method, path, data, headers)
-            except _ConnectionDropped as dropped:
-                last_error = dropped.error
-                if dropped.reused and idempotent:
-                    # Stale pooled socket, not a down broker: the retry on
-                    # a fresh connection is free (does not burn a backoff
-                    # attempt), so even retries=0 transports survive
-                    # keep-alive churn on their read paths.
-                    try:
-                        return self._exchange(method, path, data, headers)
-                    except _ConnectionDropped as again:
-                        last_error = again.error
-            if attempt < self.retries:
-                time.sleep(self._backoff_delay(attempt))
-        raise TransportError(
-            f"broker unreachable at {self.base_url} after "
-            f"{self.retries + 1} attempts: {last_error}",
-            address=self.base_url)
+        op = self._op_of(method, path)
+        self._ops.inc(op=op)
+        start = time.perf_counter()
+        try:
+            last_error: Optional[Exception] = None
+            for attempt in range(self.retries + 1):
+                try:
+                    return self._exchange(method, path, data, headers)
+                except _ConnectionDropped as dropped:
+                    last_error = dropped.error
+                    if dropped.reused and idempotent:
+                        # Stale pooled socket, not a down broker: the
+                        # retry on a fresh connection is free (does not
+                        # burn a backoff attempt), so even retries=0
+                        # transports survive keep-alive churn on their
+                        # read paths.
+                        self._retries.inc(kind="free")
+                        try:
+                            return self._exchange(method, path, data,
+                                                  headers)
+                        except _ConnectionDropped as again:
+                            last_error = again.error
+                if attempt < self.retries:
+                    self._retries.inc(kind="backoff")
+                    time.sleep(self._backoff_delay(attempt))
+            raise TransportError(
+                f"broker unreachable at {self.base_url} after "
+                f"{self.retries + 1} attempts: {last_error}",
+                address=self.base_url)
+        finally:
+            self._op_seconds.observe(time.perf_counter() - start, op=op)
+
+    @staticmethod
+    def _op_of(method: str, path: str) -> str:
+        """Bounded op label for a request path (keys collapse to one
+        label — metric cardinality must not grow with the keyspace)."""
+        if "/k/" in path:
+            return method.lower()
+        for route in ("batch", "claim", "list", "stats"):
+            if f"/{route}" in path:
+                return route
+        return "other"
 
     def _backoff_delay(self, attempt: int) -> float:
         """Full-jitter exponential backoff, clamped to ``retry_max_delay``.
@@ -1045,6 +1088,23 @@ class HttpTransport(QueueTransport):
             raise TransportError(
                 "CLAIM: malformed response body", address=self.base_url)
         return outcome
+
+    def stats(self) -> Optional[dict]:
+        """The broker's ``GET /stats`` telemetry snapshot.
+
+        Returns the decoded ``{"server": ..., "metrics": ...}`` document,
+        or ``None`` against a broker that predates the endpoint (404) —
+        the ``dist.stats`` dashboard degrades to queue-state-only output
+        rather than failing.
+        """
+        status, body, _ = self._request("GET", f"{self._prefix}/stats")
+        if status == 404:
+            return None
+        if status != 200:
+            raise TransportError(
+                f"STATS: unexpected status {status}", address=self.base_url)
+        payload = json_loads_or_none(body)
+        return payload if isinstance(payload, dict) else None
 
     def close(self) -> None:
         """Release this thread's pooled connection (other threads' pooled

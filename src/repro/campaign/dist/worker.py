@@ -54,6 +54,7 @@ from repro.campaign.jobs import (
     execute_job,
     result_from_record_or_none,
 )
+from repro.campaign.obs import StructLogger, get_registry
 
 #: Exit code for an unreachable queue transport (see module docstring).
 EXIT_TRANSPORT_ERROR = 3
@@ -70,26 +71,50 @@ class WorkerCrash(Exception):
 
 
 class _LeaseHeartbeat(threading.Thread):
-    """Daemon thread renewing a claim's lease while the job executes."""
+    """Daemon thread renewing a claim's lease while the job executes.
 
-    def __init__(self, queue: WorkQueue, item: WorkItem):
+    Each renewal carries the worker's metrics snapshot (when a provider
+    is given) into the claim document, so the orchestrator's autoscale
+    tick sees per-worker throughput through the queue itself — see
+    :meth:`~repro.campaign.dist.queue.WorkQueue.worker_metrics`.
+
+    A transient :class:`TransportError` (or ``OSError``) during a renewal
+    must never escape this thread or kill the work loop: the beat is
+    logged, counted (``worker_heartbeat_errors_total``), and retried on
+    the next tick — renewals fire at lease/4, so one lost beat leaves
+    the lease comfortably live, and a *persistently* dead transport
+    surfaces through the executing job's settle path with a clean exit
+    code instead of an unraisable thread exception.
+    """
+
+    def __init__(self, queue: WorkQueue, item: WorkItem,
+                 metrics=None, log: Optional[StructLogger] = None):
         super().__init__(daemon=True, name=f"heartbeat-{item.key}")
         self._queue = queue
         self._item = item
+        self._metrics = metrics
+        self._log = log
         # NB: named _halt because threading.Thread reserves _stop internally.
         self._halt = threading.Event()
         #: Renew well inside the lease so one missed beat is survivable.
         self.interval = max(0.05, queue.lease_seconds / 4.0)
+        #: Renewals that failed on a transport error (telemetry + tests).
+        self.errors = 0
 
     def run(self) -> None:
         """Renew until :meth:`stop`; transient transport errors are retried
         on the next beat rather than surfaced (the settle path reports)."""
         while not self._halt.wait(self.interval):
             try:
-                self._queue.heartbeat(self._item)
-            except (OSError, TransportError):  # pragma: no cover - transient
-                pass  # the next beat retries; a dead transport surfaces
-                # through the executing job's settle path instead
+                snapshot = self._metrics() if self._metrics else None
+                self._queue.heartbeat(self._item, metrics=snapshot)
+            except (OSError, TransportError) as exc:
+                self.errors += 1
+                get_registry().counter(
+                    "worker_heartbeat_errors_total").inc()
+                if self._log is not None:
+                    self._log.event("heartbeat-error", key=self._item.key,
+                                    error=f"{type(exc).__name__}: {exc}")
 
     def stop(self) -> None:
         """Stop renewing and join the thread (bounded wait)."""
@@ -148,9 +173,35 @@ class Worker:
         self.crash_after_claims = crash_after_claims
         self.crash_mode = crash_mode
         self._log = log or (lambda _line: None)
+        # Structured stderr events for the paths a line logger cannot
+        # reach (heartbeat-thread errors); quiet by design otherwise.
+        self._events = StructLogger("worker")
         self.processed = 0
         self.cache_served = 0
         self.claims = 0
+        self.started_at = time.time()
+
+    def metrics_snapshot(self) -> dict:
+        """This worker's throughput counters as a JSON-safe dict.
+
+        Rides every heartbeat renewal into the claim document (see
+        :meth:`~repro.campaign.dist.queue.WorkQueue.heartbeat`), where
+        :meth:`~repro.campaign.dist.queue.WorkQueue.worker_metrics` —
+        and through it the executor's autoscale tick — reads per-worker
+        throughput with no side channel.  ``at`` stamps the snapshot so
+        readers can prefer the freshest one.
+        """
+        now = time.time()
+        uptime = max(1e-9, now - self.started_at)
+        return {
+            "at": now,
+            "worker": self.worker_id,
+            "uptime_seconds": uptime,
+            "processed": self.processed,
+            "cache_served": self.cache_served,
+            "claims": self.claims,
+            "jobs_per_second": self.processed / uptime,
+        }
 
     def run(self) -> int:
         """Process jobs until a stop condition holds; returns jobs settled.
@@ -205,19 +256,39 @@ class Worker:
         return self.processed
 
     # -- one claim ---------------------------------------------------------
+    def _timing(self, item: WorkItem, **stamps: float) -> dict:
+        """The per-job timing document settled into the result record.
+
+        Unix-second stamps for the queue-wait → run → store trace spans
+        (:func:`repro.campaign.obs.spans.spans_from_result_records`);
+        ``None`` stamps — records enqueued by pre-telemetry orchestrators
+        — are simply omitted, and the affected span is skipped.
+        """
+        timing = {"enqueued_at": item.enqueued_at,
+                  "claimed_at": item.claimed_at}
+        timing.update(stamps)
+        return {key: float(value) for key, value in timing.items()
+                if value is not None}
+
     def _run_item(self, item: WorkItem) -> JobResult:
         job = item.job
         if self.cache is not None:
             result = result_from_record_or_none(self.cache.get(job),
                                                 cached=True)
             if result is not None:
-                self.queue.complete(item, result)
+                now = time.time()
+                self.queue.complete(item, result, timing=self._timing(
+                    item, started_at=now, finished_at=now,
+                    stored_at=time.time()))
                 self.cache_served += 1
                 self._log(f"{self.worker_id}: {item.key} served from cache")
                 return result
 
-        heartbeat = _LeaseHeartbeat(self.queue, item)
+        heartbeat = _LeaseHeartbeat(self.queue, item,
+                                    metrics=self.metrics_snapshot,
+                                    log=self._events)
         heartbeat.start()
+        started_at = time.time()
         try:
             try:
                 result = execute_job(job)
@@ -237,9 +308,12 @@ class Worker:
             return JobResult(job_id=job.job_id, case=job.case,
                              params=job.params, seed=job.seed,
                              error=f"{type(exc).__name__}: {exc}")
+        finished_at = time.time()
         if self.cache is not None and result.ok:
             self.cache.put(job, {"result": result.to_record()})
-        self.queue.complete(item, result)
+        self.queue.complete(item, result, timing=self._timing(
+            item, started_at=started_at, finished_at=finished_at,
+            stored_at=time.time()))
         status = "ok" if result.ok else f"error: {result.error}"
         self._log(f"{self.worker_id}: {item.key} done in "
                   f"{result.wall_time:.2f}s ({status})")
@@ -312,8 +386,12 @@ def main(argv: Optional[list] = None) -> int:
                         help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
 
+    # Per-job progress is *diagnostics*, not program output: it goes to
+    # stderr through the structured logger (one "[worker] progress ..."
+    # line per event), leaving stdout clean for whatever wraps the CLI.
+    events = StructLogger("worker", enabled=not args.quiet)
     log = (lambda _line: None) if args.quiet else (
-        lambda line: print(line, flush=True))
+        lambda line: events.event("progress", detail=line))
     queue = cache = None
     try:
         queue = WorkQueue(transport=transport_from_address(

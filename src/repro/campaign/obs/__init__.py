@@ -1,0 +1,49 @@
+"""Fleet observability: metrics, spans, structured logs.
+
+The telemetry substrate for the distributed campaign stack, applying the
+source paper's profiler-first methodology to our own runtime.  Three
+small, dependency-free pieces:
+
+* :mod:`~repro.campaign.obs.metrics` — thread-safe labelled counters /
+  gauges / histograms with a JSON :meth:`~repro.campaign.obs.metrics.
+  MetricsRegistry.snapshot`, the wire shape behind the broker's
+  ``GET /stats`` and worker heartbeat metrics.
+* :mod:`~repro.campaign.obs.spans` — span recording sharing
+  ``tfmini.profiler.traceme`` event conventions, written out as
+  Chrome-trace/Perfetto-compatible JSONL or ``trace.json``.
+* :mod:`~repro.campaign.obs.logs` — one-line ``key=value`` structured
+  events on stderr, replacing bare ``print`` diagnostics.
+
+This package must import nothing from ``repro.campaign.dist`` — every
+dist module imports *it*.
+"""
+
+from repro.campaign.obs.logs import StructLogger
+from repro.campaign.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter_total,
+    get_registry,
+    series_value,
+)
+from repro.campaign.obs.spans import (
+    Span,
+    SpanRecorder,
+    spans_from_result_records,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecorder",
+    "StructLogger",
+    "counter_total",
+    "get_registry",
+    "series_value",
+    "spans_from_result_records",
+]

@@ -34,7 +34,8 @@ def _anchors(markdown: str):
 
 
 def test_doc_tree_exists():
-    for name in ("architecture.md", "distributed.md", "cookbook.md"):
+    for name in ("architecture.md", "distributed.md", "cookbook.md",
+                 "observability.md"):
         assert (REPO / "docs" / name).is_file(), f"docs/{name} missing"
 
 
