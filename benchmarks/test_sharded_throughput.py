@@ -1,0 +1,119 @@
+"""Micro-benchmark: aggregate queue throughput over a sharded fleet.
+
+Measures full queue cycles (batch enqueue → server-side claim → batched
+settle) per second driven by a small concurrent worker pool, against one
+local broker and against a 2-shard ``ShardedTransport`` over two local
+brokers — the apples-to-apples comparison for the horizontal-scaling
+claim.  On one machine the two shards share the CPU, so the aggregate is
+not expected to *double*; the floor asserts the router's scatter-gather
+and per-shard claim probing keep a sharded fleet at or above the
+single-broker throughput floor, i.e. sharding costs no cliff.  The
+``BENCH_sharded.json`` artifact records both numbers so the trajectory
+is inspectable across PRs.  Opt-in via ``pytest -m bench``.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.campaign import SweepSpec
+from repro.campaign.dist import (
+    HttpTransport,
+    ShardedTransport,
+    WorkQueue,
+)
+from repro.campaign.dist.server import Broker
+from repro.campaign.jobs import JobResult
+
+pytestmark = pytest.mark.bench
+
+#: Queue cycles per measured round.
+N_JOBS = 60
+
+#: Timed rounds per configuration; the best round is reported.
+ROUNDS = 3
+
+#: Concurrent claimants per round — enough to keep both shards busy
+#: without swamping a CI host.
+WORKERS = 4
+
+
+def _jobs(n):
+    spec = SweepSpec(name="sharded-bench", case="synthetic",
+                     base={"rate": 150.0}, grid={"tasks": list(range(n))})
+    return spec.expand()
+
+
+def _drain_fleet(transport, jobs):
+    """Settle ``jobs`` with :data:`WORKERS` concurrent claimants; returns
+    total settled.  Each thread gets its own ``WorkQueue`` over the
+    shared transport, like separate worker processes would."""
+    WorkQueue(transport=transport, lease_seconds=60.0).enqueue_grid(jobs)
+    settled = [0] * WORKERS
+
+    def run(index):
+        queue = WorkQueue(transport=transport, lease_seconds=60.0)
+        while True:
+            item = queue.claim(f"bench-{index}")
+            if item is None:
+                return
+            queue.complete(item, JobResult(
+                job_id=item.key, case=item.job.case, params=item.job.params,
+                seed=item.job.seed, metrics={"x": 1.0}, wall_time=0.001))
+            settled[index] += 1
+
+    threads = [threading.Thread(target=run, args=(i,))
+               for i in range(WORKERS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120.0)
+    return sum(settled)
+
+
+def _fleet_rate(transport):
+    """Best aggregate cycle rate over ``transport`` (warmup + best-of)."""
+    grid = _jobs((ROUNDS + 1) * N_JOBS)
+    rounds = [grid[i * N_JOBS:(i + 1) * N_JOBS] for i in range(ROUNDS + 1)]
+    assert _drain_fleet(transport, rounds[0]) == N_JOBS  # warmup, untimed
+    best = 0.0
+    for jobs in rounds[1:]:
+        start = time.perf_counter()
+        settled = _drain_fleet(transport, jobs)
+        elapsed = time.perf_counter() - start
+        assert settled == len(jobs)
+        best = max(best, settled / elapsed)
+    return best
+
+
+@pytest.fixture(scope="module")
+def rates():
+    out = {}
+    with Broker() as broker:
+        out["single"] = _fleet_rate(
+            HttpTransport(broker.url, retries=1))
+    with Broker() as b1, Broker() as b2:
+        router = ShardedTransport(
+            [HttpTransport(b1.url, retries=1),
+             HttpTransport(b2.url, retries=1)])
+        out["sharded_2x"] = _fleet_rate(router)
+        router.close()
+    return out
+
+
+def test_report_and_floor_sharded_rates(rates, bench_artifact):
+    for name, rate in sorted(rates.items(), key=lambda kv: -kv[1]):
+        print(f"\n{name:>10}: {rate:8,.0f} queue cycles/s "
+              f"({WORKERS} claimants)")
+    bench_artifact("sharded", {
+        "single_cycles_per_s": rates["single"],
+        "sharded_2x_cycles_per_s": rates["sharded_2x"],
+        "claimants": WORKERS,
+    })
+    # The acceptance floor: a 2-shard fleet's aggregate must clear the
+    # single-broker floor from BENCH_transport.json (250 cycles/s) —
+    # the router's per-shard claim probe and scatter-gather pagination
+    # must not turn horizontal scaling into a regression.
+    assert rates["sharded_2x"] > 250.0
+    assert rates["single"] > 250.0

@@ -290,16 +290,22 @@ def open_cache(location: Any,
     """Build the right cache for a ``--cache``-style argument.
 
     The cache twin of ``transport_from_address``: ``http://`` /
-    ``https://`` URLs get a :class:`TransportResultCache` over the broker,
-    a :class:`~repro.campaign.dist.transport.QueueTransport` instance is
-    wrapped directly (e.g. a ``MemoryTransport`` shared with a thread
-    fleet), an existing cache passes through unchanged, and anything else
-    is treated as a cache directory.
+    ``https://`` URLs get a :class:`TransportResultCache` over the broker
+    (a comma-separated list of such URLs deduplicates across a sharded
+    broker fleet), a :class:`~repro.campaign.dist.transport.
+    QueueTransport` instance is wrapped directly (e.g. a
+    ``MemoryTransport`` shared with a thread fleet), an existing cache
+    passes through unchanged, and anything else is treated as a cache
+    directory.
 
     >>> open_cache("http://broker:8123")
     TransportResultCache(HttpTransport('http://broker:8123'))
     """
-    from repro.campaign.dist.transport import HttpTransport, QueueTransport
+    from repro.campaign.dist.transport import (
+        HttpTransport,
+        QueueTransport,
+        transport_from_address,
+    )
 
     if isinstance(location, TransportResultCache):
         return location
@@ -308,8 +314,11 @@ def open_cache(location: Any,
                                     physics_version=physics_version)
     text = str(location)
     if text.startswith("http://") or text.startswith("https://"):
-        transport = HttpTransport(text, retries=retries,
-                                  retry_delay=retry_delay)
+        # Single broker or a comma-separated shard list — dispatch the
+        # same way the queue does, so ``--queue``/``--cache`` accept the
+        # same address syntax.
+        transport = transport_from_address(text, retries=retries,
+                                           retry_delay=retry_delay)
         return TransportResultCache(transport,
                                     physics_version=physics_version)
     return ResultCache(location, physics_version=physics_version)

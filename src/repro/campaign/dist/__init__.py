@@ -19,7 +19,13 @@ that any mix of threads, processes and hosts can participate in:
   that predate the endpoint.  The result cache and the persisted cost
   model ride the same contract
   (:func:`~repro.campaign.cache.open_cache`), so broker fleets
-  deduplicate without any shared filesystem;
+  deduplicate without any shared filesystem.
+  :class:`~repro.campaign.dist.sharding.ShardedTransport` scales the
+  seam horizontally: a comma-separated broker list
+  (``--queue http://b1:8123,http://b2:8123``) consistent-hash-routes
+  each job's document family to one shard, scatter-gathers listings and
+  batches, and guards resharding with a per-shard ``meta/epoch``
+  handshake;
 * :class:`~repro.campaign.dist.queue.WorkQueue` — durable work queue over
   any transport, with conditional-create claims whose documents double as
   heartbeat-renewed leases, a retry policy and a max-attempt dead-letter
@@ -61,6 +67,7 @@ from repro.campaign.dist.queue import (
     cost_for_priority,
     priority_for_cost,
 )
+from repro.campaign.dist.sharding import ShardedTransport
 from repro.campaign.dist.transport import (
     ClaimUnsupported,
     FsTransport,
@@ -98,6 +105,7 @@ __all__ = [
     "HttpTransport",
     "MemoryTransport",
     "QueueTransport",
+    "ShardedTransport",
     "TransportError",
     "WorkItem",
     "WorkQueue",

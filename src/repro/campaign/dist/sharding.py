@@ -1,0 +1,494 @@
+"""Multi-broker sharding: one ``QueueTransport`` over N backing stores.
+
+One broker is one host.  :class:`ShardedTransport` scales the transport
+seam horizontally by consistent-hashing opaque keys across multiple
+child transports (typically :class:`~repro.campaign.dist.transport.
+HttpTransport` brokers, ``--queue http://b1:8123,http://b2:8123``) while
+presenting the exact same contract the queue, cache and cost model
+already run on — so a sharded fleet is a drop-in address change, not a
+code change.
+
+Routing
+-------
+
+Keys are routed by a *derived routing key*, not the raw key: the last
+path segment, minus a ``.json`` suffix, minus the queue's 10-digit
+priority prefix (``routing_key("pending/0000000017-abc.json") ==
+"abc"``).  This co-locates a job's whole document family —
+``jobs/<key>.json``, ``pending/<prio>-<key>.json``,
+``claims/<prio>-<key>.json``, ``results/<key>.json``,
+``done/<prio>-<key>.json``, ``dead/<key>.json`` — on one shard, which is
+load-bearing: a broker answering ``POST /claim`` runs the whole
+scan-probe-CAS pass against *its own* store, and must find the ticket's
+immutable job record there (a missing record is dead-lettered as
+corrupt, by design).  Naive per-raw-key routing would scatter the family
+and bury healthy jobs.  The hash ring is built from shard *positions*
+(``shard-<i>/vnode-<j>``), so routing is a pure function of the ordered
+shard list — stable across processes, across router instances, and for
+address-less in-memory shards.  Reordering the shard list therefore
+changes the mapping; the epoch handshake below turns that mistake into a
+hard error instead of a silently split keyspace.
+
+Scatter-gather
+--------------
+
+``list`` k-way-merges the children's sorted listings; ``list_page``
+fetches one page per shard from the same global ``start_after``, merges,
+and returns the first ``max_keys`` keys — the continuation token stays a
+plain *keyset* token (the last key returned), valid because every key a
+shard did not ship is provably greater than the merged page's last key.
+``get_many`` / ``put_many`` / ``delete_many`` / ``mutate_many`` group
+items per shard, ride each child's native batch path, and reassemble
+outcomes in input order (same-key ops co-locate, so per-key ordering
+survives).  Batches spanning shards are *not* transactions — but they
+never were on a single broker either (per-item outcomes).
+
+``claim_first`` round-robins the shards (a rotating starting offset per
+router, so idle polls spread load) and returns the first shard's claim.
+If *any* shard cannot claim server-side, the router raises
+:class:`~repro.campaign.dist.transport.ClaimUnsupported` so the queue
+falls back to its client-side scan over the router — a half-supported
+fleet must not look drained while unsupported shards still hold tickets.
+
+Epoch / drain protocol
+----------------------
+
+Before its first routed operation the router stamps every shard with a
+fleet *epoch* document at :data:`EPOCH_KEY` (``meta/epoch``): a hash of
+the ordered shard identities (and vnode count).  A shard already stamped
+with a *different* epoch makes that first operation raise
+:class:`~repro.campaign.dist.transport.TransportError` — the shard
+belongs to a differently-shaped fleet, and routing against it would read
+and write a split keyspace.  To reshard: drain the queue, delete
+``meta/epoch`` on every broker, then point the new shard list at them.
+See ``docs/distributed.md`` ("Sharded fleets") for the operational
+recipe.
+
+>>> from repro.campaign.dist.transport import MemoryTransport
+>>> shards = [MemoryTransport(), MemoryTransport()]
+>>> router = ShardedTransport(shards)
+>>> tag = router.put("jobs/a.json", b"{}")
+>>> router.get("jobs/a.json") == (b"{}", tag)
+True
+>>> router.shard_for("jobs/a.json") is router.shard_for(
+...     "pending/0000000007-a.json")  # family co-location
+True
+>>> sum(t.get("jobs/a.json") is not None for t in shards)  # exactly one
+1
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import heapq
+import re
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.dist.transport import (
+    ClaimUnsupported,
+    QueueTransport,
+    TransportError,
+)
+from repro.campaign.jsonio import json_dumps_bytes, json_loads_or_none
+from repro.campaign.obs import MetricsRegistry, get_registry
+
+#: Where each shard's fleet-epoch document lives.  Deliberately outside
+#: the queue's state prefixes (``jobs/``/``pending/``/...), so queue and
+#: cache listings never see it.
+EPOCH_KEY = "meta/epoch"
+
+#: Virtual nodes per shard on the hash ring.  64 points per shard keeps
+#: the keyspace split within a few percent of even for small fleets
+#: while the ring stays tiny (N*64 bisect entries).
+DEFAULT_VNODES = 64
+
+#: The queue's zero-padded cost-priority prefix on ticket basenames
+#: (``pending/0000000017-<key>.json``) — stripped before routing so a
+#: ticket routes with its job family.
+_PRIORITY_PREFIX = re.compile(r"^\d{10}-")
+
+
+def routing_key(key: str) -> str:
+    """The substring of ``key`` the router hashes.
+
+    Last path segment, minus ``.json``, minus the 10-digit priority
+    prefix — i.e. the job key for every document in a job's family, so
+    they all land on one shard.  Falls back to the raw key when the
+    basename strips to nothing.
+
+    >>> routing_key("jobs/abc123.json")
+    'abc123'
+    >>> routing_key("pending/0000000017-abc123.json")
+    'abc123'
+    >>> routing_key("queue.json")
+    'queue'
+    >>> routing_key("ab/abcdef.json")  # cache entries route on the hash
+    'abcdef'
+    """
+    base = key.rsplit("/", 1)[-1]
+    if base.endswith(".json"):
+        base = base[:-5]
+    base = _PRIORITY_PREFIX.sub("", base)
+    return base or key
+
+
+def fleet_epoch(identities: Sequence[str],
+                vnodes: int = DEFAULT_VNODES) -> str:
+    """Deterministic epoch id for an ordered shard list.
+
+    Any change that remaps keys — adding, removing or *reordering*
+    shards, or changing the vnode count — changes the epoch.
+    """
+    material = "\n".join([str(int(vnodes))] + [str(i) for i in identities])
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+
+def _ring_point(label: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(label.encode("utf-8")).digest()[:8], "big")
+
+
+class ShardedTransport(QueueTransport):
+    """Consistent-hash router over child transports; see module docs.
+
+    ``shards`` is the ordered list of child transports (order is part of
+    the fleet identity — see the epoch protocol).  ``address`` is the
+    comma-joined child addresses when every child has one (so a worker
+    process can be spawned with the same ``--queue`` string), else
+    ``None`` (thread fleets over in-memory shards).
+    """
+
+    def __init__(self, shards: Sequence[QueueTransport],
+                 vnodes: int = DEFAULT_VNODES,
+                 registry: Optional[MetricsRegistry] = None,
+                 check_epoch: bool = True):
+        shards = list(shards)
+        if not shards:
+            raise ValueError("ShardedTransport needs at least one shard")
+        self.shards: List[QueueTransport] = shards
+        self.vnodes = max(1, int(vnodes))
+        self.identities: List[str] = [
+            getattr(shard, "address", None) or f"shard-{index}"
+            for index, shard in enumerate(shards)]
+        addresses = [getattr(shard, "address", None) for shard in shards]
+        self.address = (",".join(addresses)
+                        if all(addresses) else None)
+        self.epoch = fleet_epoch(self.identities, self.vnodes)
+        # Ring points hash shard *positions*, not addresses: the mapping
+        # must be identical for every router built over the same ordered
+        # shard list, including address-less MemoryTransport shards.
+        points: List[Tuple[int, int]] = []
+        for index in range(len(shards)):
+            for vnode in range(self.vnodes):
+                points.append(
+                    (_ring_point(f"shard-{index}/vnode-{vnode}"), index))
+        points.sort()
+        self._ring_hashes = [point for point, _ in points]
+        self._ring_shards = [index for _, index in points]
+        self._claim_offset = 0
+        self._lock = threading.Lock()
+        self._epoch_ok = not check_epoch
+        registry = registry if registry is not None else get_registry()
+        self._ops = registry.counter(
+            "sharded_ops_total",
+            "operations routed through the shard router, by op and shard")
+
+    # -- routing -----------------------------------------------------------
+    def shard_index(self, key: str) -> int:
+        """Index of the shard owning ``key`` (stable and total)."""
+        point = _ring_point(routing_key(key))
+        i = bisect.bisect_right(self._ring_hashes, point)
+        if i == len(self._ring_hashes):
+            i = 0
+        return self._ring_shards[i]
+
+    def shard_for(self, key: str) -> QueueTransport:
+        """The child transport owning ``key``."""
+        return self.shards[self.shard_index(key)]
+
+    def _route(self, op: str, key: str) -> QueueTransport:
+        self._ensure_epoch()
+        index = self.shard_index(key)
+        self._ops.inc(op=op, shard=self.identities[index])
+        return self.shards[index]
+
+    def _group(self, keys: Sequence[str]) -> Dict[int, List[int]]:
+        """Input positions grouped by owning shard, order preserved."""
+        self._ensure_epoch()
+        groups: Dict[int, List[int]] = {}
+        for position, key in enumerate(keys):
+            groups.setdefault(self.shard_index(key), []).append(position)
+        return groups
+
+    # -- epoch handshake ---------------------------------------------------
+    def _epoch_doc(self, index: int) -> bytes:
+        return json_dumps_bytes({
+            "epoch": self.epoch,
+            "shard": index,
+            "shards": len(self.shards),
+            "identity": self.identities[index],
+            "identities": self.identities,
+            "vnodes": self.vnodes,
+        })
+
+    def _ensure_epoch(self) -> None:
+        """Run the epoch handshake once, before the first routed op.
+
+        Lazy like every other transport's connection setup: constructing
+        a router is free and offline (``transport_from_address`` can
+        build one for a ``--queue`` string without touching the
+        network); the first operation pays one get-or-create per shard.
+        A failed handshake is retried by the next operation.
+        """
+        if self._epoch_ok:
+            return
+        with self._lock:
+            if self._epoch_ok:
+                return
+            self._stamp_epochs()
+            self._epoch_ok = True
+
+    def _stamp_epochs(self) -> None:
+        """Create-or-verify ``meta/epoch`` on every shard.
+
+        A fresh shard is stamped (conditional create, so two routers
+        starting together converge); a shard stamped with this fleet's
+        epoch passes; a shard stamped with a *different* epoch raises
+        ``TransportError`` naming that shard — it belongs to a
+        different fleet shape and must be drained and un-stamped before
+        being re-pointed.  Garbage (a torn write) is healed in place.
+        """
+        for index, shard in enumerate(self.shards):
+            payload = self._epoch_doc(index)
+            got = shard.get(EPOCH_KEY)
+            if got is None:
+                if shard.cas(EPOCH_KEY, payload, if_match=None) is not None:
+                    continue
+                got = shard.get(EPOCH_KEY)
+                if got is None:  # racing drain deleted it: claim again
+                    shard.put(EPOCH_KEY, payload)
+                    continue
+            existing = json_loads_or_none(got[0])
+            if not isinstance(existing, dict) or "epoch" not in existing:
+                shard.put(EPOCH_KEY, payload)  # heal a torn stamp
+                continue
+            if str(existing.get("epoch", "")) != self.epoch:
+                raise TransportError(
+                    f"shard {self.identities[index]} belongs to a different "
+                    f"fleet epoch ({existing.get('epoch')!r}, this router is "
+                    f"{self.epoch!r}): drain it and delete {EPOCH_KEY!r} "
+                    f"before re-pointing",
+                    address=getattr(shard, "address", None))
+
+    # -- point operations --------------------------------------------------
+    def get(self, key: str) -> Optional[Tuple[bytes, str]]:
+        return self._route("get", key).get(key)
+
+    def put(self, key: str, data: bytes) -> str:
+        return self._route("put", key).put(key, data)
+
+    def cas(self, key: str, data: bytes,
+            if_match: Optional[str]) -> Optional[str]:
+        return self._route("cas", key).cas(key, data, if_match=if_match)
+
+    def delete(self, key: str, if_match: Optional[str] = None) -> bool:
+        return self._route("delete", key).delete(key, if_match=if_match)
+
+    def list(self, prefix: str) -> List[str]:
+        """Merged sorted listing across every shard.
+
+        Keys are disjoint by routing, except intentionally replicated
+        documents (``meta/epoch``), which are deduplicated here.
+        """
+        self._ensure_epoch()
+        self._ops.inc(op="list", shard="*")
+        merged: List[str] = []
+        listings = [shard.list(prefix) for shard in self.shards]
+        for key in _merge_sorted(listings):
+            if not merged or key != merged[-1]:
+                merged.append(key)
+        return merged
+
+    # -- batch / pagination ------------------------------------------------
+    def get_many(self, keys: Sequence[str]
+                 ) -> List[Optional[Tuple[bytes, str]]]:
+        keys = list(keys)
+        out: List[Optional[Tuple[bytes, str]]] = [None] * len(keys)
+        for index, positions in self._group(keys).items():
+            self._ops.inc(op="get_many", shard=self.identities[index])
+            got = self.shards[index].get_many([keys[p] for p in positions])
+            for position, outcome in zip(positions, got):
+                out[position] = outcome
+        return out
+
+    def put_many(self, items: Sequence[Tuple[str, bytes, Optional[str]]]
+                 ) -> List[Optional[str]]:
+        items = list(items)
+        out: List[Optional[str]] = [None] * len(items)
+        for index, positions in self._group(
+                [key for key, _, _ in items]).items():
+            self._ops.inc(op="put_many", shard=self.identities[index])
+            tags = self.shards[index].put_many([items[p] for p in positions])
+            for position, tag in zip(positions, tags):
+                out[position] = tag
+        return out
+
+    def delete_many(self, items: Sequence[Tuple[str, Optional[str]]]
+                    ) -> List[bool]:
+        items = list(items)
+        out: List[bool] = [False] * len(items)
+        for index, positions in self._group(
+                [key for key, _ in items]).items():
+            self._ops.inc(op="delete_many", shard=self.identities[index])
+            oks = self.shards[index].delete_many(
+                [items[p] for p in positions])
+            for position, ok in zip(positions, oks):
+                out[position] = ok
+        return out
+
+    def mutate_many(self, ops: Sequence[Tuple]) -> List[object]:
+        """Per-shard grouped mixed batch; outcomes in input order.
+
+        Ops on the *same key* keep their relative order (they route to
+        the same shard, and each child applies its batch in order);
+        cross-shard ordering is concurrent — which matches the contract,
+        since batches were never transactions.
+        """
+        ops = list(ops)
+        out: List[object] = [None] * len(ops)
+        for index, positions in self._group(
+                [op[1] for op in ops]).items():
+            self._ops.inc(op="mutate_many", shard=self.identities[index])
+            outcomes = self.shards[index].mutate_many(
+                [ops[p] for p in positions])
+            for position, outcome in zip(positions, outcomes):
+                out[position] = outcome
+        return out
+
+    def list_page(self, prefix: str, max_keys: int,
+                  start_after: str = "") -> Tuple[List[str], Optional[str]]:
+        """One globally-sorted page, scatter-gathered from every shard.
+
+        Each shard is asked for its own first ``max_keys`` keys after
+        the same global ``start_after``; the merged smallest ``max_keys``
+        form the page.  The token stays a plain keyset token (the last
+        key returned): any key a shard did **not** ship is greater than
+        that shard's last shipped key, which is >= the page's last key —
+        so ``start_after=token`` never skips a surviving key, and keys
+        deleted or inserted between pages behave exactly as on a single
+        store.
+        """
+        self._ensure_epoch()
+        self._ops.inc(op="list_page", shard="*")
+        max_keys = max(1, int(max_keys))
+        pages: List[List[str]] = []
+        shard_truncated = False
+        for shard in self.shards:
+            page, token = shard.list_page(prefix, max_keys,
+                                          start_after=start_after)
+            pages.append(page)
+            shard_truncated = shard_truncated or token is not None
+        merged: List[str] = []
+        for key in _merge_sorted(pages):
+            if not merged or key != merged[-1]:
+                merged.append(key)
+        page = merged[:max_keys]
+        more = shard_truncated or len(merged) > max_keys
+        if page and more:
+            return page, page[-1]
+        return page, None
+
+    # -- server-side claim -------------------------------------------------
+    def claim_first(self, prefix: str = "pending/", worker: str = "",
+                    now: Optional[float] = None,
+                    lease_seconds: Optional[float] = None) -> Optional[dict]:
+        """Server-side claim across the fleet, best-ticket shard first.
+
+        Each shard is probed for its first pending ticket (one
+        ``max_keys=1`` page); shards are then tried in the global sort
+        order of those ticket names — the names carry the queue's
+        zero-padded cost priority, so the fleet keeps longest-job-first
+        scheduling instead of degrading to per-shard priority.  Ties and
+        races fall back to a rotating round-robin offset, which also
+        spreads concurrent idle pollers.  A shard whose pending listing
+        is empty has nothing claimable and is skipped (an enqueue racing
+        the probe is picked up by the caller's next poll).
+
+        Raises ``ClaimUnsupported`` when any shard lacks a server-side
+        claim entirely (e.g. in-memory shards), or when a shard holding
+        tickets answers with an old broker's 404: with mixed support,
+        trusting only the supporting shards would report a drained queue
+        while the others still hold tickets — the client-side scan over
+        the router is the only claim pass that sees the whole fleet.
+        """
+        self._ensure_epoch()
+        count = len(self.shards)
+        with self._lock:
+            start = self._claim_offset
+            self._claim_offset = (self._claim_offset + 1) % count
+        rotated = [(start + step) % count for step in range(count)]
+        for index in rotated:
+            if not callable(getattr(self.shards[index], "claim_first",
+                                    None)):
+                raise ClaimUnsupported(self.identities[index])
+        ranked: List[Tuple[str, int]] = []
+        for index in rotated:
+            page, _ = self.shards[index].list_page(prefix, 1)
+            if page:
+                ranked.append((page[0], index))
+        ranked.sort(key=lambda pair: pair[0])  # stable: ties keep rotation
+        for _, index in ranked:
+            self._ops.inc(op="claim_first", shard=self.identities[index])
+            outcome = self.shards[index].claim_first(
+                prefix=prefix, worker=worker, now=now,
+                lease_seconds=lease_seconds)
+            if outcome is not None:
+                return outcome
+        return None
+
+    # -- telemetry / lifecycle ---------------------------------------------
+    def stats(self) -> Dict[str, Optional[dict]]:
+        """Per-shard ``GET /stats`` snapshots keyed by shard identity.
+
+        Shards without a ``stats`` endpoint (in-memory, filesystem, old
+        brokers) report ``None`` — the caller aggregates what exists.
+        """
+        out: Dict[str, Optional[dict]] = {}
+        for index, shard in enumerate(self.shards):
+            probe = getattr(shard, "stats", None)
+            out[self.identities[index]] = probe() if callable(probe) else None
+        return out
+
+    def close(self) -> None:
+        for shard in self.shards:
+            closer = getattr(shard, "close", None)
+            if callable(closer):
+                closer()
+
+    def __repr__(self) -> str:
+        return f"ShardedTransport({self.identities!r})"
+
+
+def _merge_sorted(runs: Sequence[List[str]]):
+    """K-way merge of sorted string runs."""
+    return heapq.merge(*runs)
+
+
+def split_shard_urls(address: str) -> Optional[List[str]]:
+    """Parse ``address`` as a comma-separated broker URL list.
+
+    Returns the URL list when ``address`` holds two or more comma-
+    separated ``http(s)://`` URLs (the ``--queue http://b1,http://b2``
+    syntax), else ``None`` — single URLs, directories, and anything with
+    a stray comma that is not all-URLs are left to the plain dispatch.
+    """
+    if "," not in address:
+        return None
+    parts = [part.strip() for part in address.split(",") if part.strip()]
+    if len(parts) < 2:
+        return None
+    if not all(part.startswith(("http://", "https://")) for part in parts):
+        return None
+    return parts

@@ -15,9 +15,18 @@ queue it is watching).  Request rates come from deltas of the broker's
 ``broker_requests_total`` counter between ticks; per-worker throughput
 comes from the metrics snapshots workers attach to heartbeat renewals.
 
+A sharded fleet is watched with the same comma-separated address the
+workers use (``python -m repro.campaign.dist.stats
+http://b1:8123,http://b2:8123``): every shard is polled each tick and
+the aggregate summary line (depths summed, request rates summed, worker
+snapshots merged freshest-per-worker) is followed by one indented row
+per shard.  The dashboard polls per-shard transports directly rather
+than constructing a router, because the router's epoch handshake writes
+``meta/epoch`` — and a dashboard must never write.
+
 Against a broker that predates ``GET /stats`` the server columns degrade
 to ``-`` and the queue-depth columns keep working.  Exit status: ``0``
-after a clean run, ``2`` on usage errors, ``3`` when the broker is
+after a clean run, ``2`` on usage errors, ``3`` when any shard is
 unreachable.
 """
 
@@ -109,59 +118,161 @@ def _depth_cell(depths: Dict[str, Tuple[int, bool]], state: str) -> str:
     return f"{count}{'+' if truncated else ''}"
 
 
-class FleetSampler:
-    """One broker poll per :meth:`line` call; remembers the previous
-    sample so counters render as rates."""
+class _ShardSample:
+    """One shard's poll: server stats, queue depths, worker reports."""
 
     def __init__(self, transport: HttpTransport):
-        self.transport = transport
-        self._prev_requests: Optional[float] = None
-        self._prev_at: Optional[float] = None
+        self.stats = transport.stats()       # None against an old broker
+        self.depths = queue_depths(transport)
+        self.workers = worker_reports(transport)
+        self.uptime: Optional[float] = None
+        self.requests: Optional[float] = None
+        self.rate: Optional[float] = None
+        self.inflight: Optional[float] = None
+        self.bytes_in: Optional[float] = None
+        self.bytes_out: Optional[float] = None
+        if self.stats is not None:
+            server = self.stats.get("server") or {}
+            snapshot = self.stats.get("metrics") or {}
+            self.uptime = float(server.get("uptime_seconds", 0.0))
+            self.requests = counter_total(snapshot, "broker_requests_total")
+            self.inflight = series_value(snapshot, "gauges",
+                                         "broker_inflight_requests")
+            self.bytes_in = counter_total(snapshot, "broker_bytes_in_total")
+            self.bytes_out = counter_total(snapshot, "broker_bytes_out_total")
+
+
+def _merge_depths(samples: List[_ShardSample]) -> Dict[str, Tuple[int, bool]]:
+    merged: Dict[str, Tuple[int, bool]] = {}
+    for state in _STATES:
+        count, truncated = 0, False
+        for sample in samples:
+            shard_count, shard_truncated = sample.depths.get(
+                state, (0, False))
+            count += shard_count
+            truncated = truncated or shard_truncated
+        merged[state] = (count, truncated)
+    return merged
+
+
+def _merge_workers(samples: List[_ShardSample]) -> Dict[str, Dict[str, Any]]:
+    """Fleet-wide per-worker snapshots, freshest wins.
+
+    A worker on a sharded fleet heartbeats whichever shard holds its
+    current claim, so the same worker id can appear on several shards;
+    its one freshest snapshot already describes the whole process."""
+    merged: Dict[str, Dict[str, Any]] = {}
+    for sample in samples:
+        for worker, metrics in sample.workers.items():
+            held = merged.get(worker)
+            if (held is None or float(metrics.get("at", 0.0))
+                    >= float(held.get("at", 0.0))):
+                merged[worker] = metrics
+    return merged
+
+
+def _sum_or_none(values: List[Optional[float]]) -> Optional[float]:
+    known = [value for value in values if value is not None]
+    return sum(known) if known else None
+
+
+class FleetSampler:
+    """One poll of every shard per :meth:`line` call; remembers the
+    previous sample so counters render as rates.
+
+    Accepts a single broker transport or a list of per-shard transports
+    (one per URL in a ``http://b1,http://b2`` fleet address).  With one
+    shard the output is the familiar single summary line; with several,
+    the aggregate line is followed by one indented row per shard."""
+
+    def __init__(self, transport) -> None:
+        if isinstance(transport, (list, tuple)):
+            self.shards: List[HttpTransport] = list(transport)
+        else:
+            self.shards = [transport]
+        if not self.shards:
+            raise ValueError("FleetSampler needs at least one shard")
+        self.transport = self.shards[0]  # single-broker back-compat
+        self._prev_requests: List[Optional[float]] = [None] * len(self.shards)
+        self._prev_at: List[Optional[float]] = [None] * len(self.shards)
+
+    def _poll(self) -> List[_ShardSample]:
+        samples = []
+        for index, shard in enumerate(self.shards):
+            sample = _ShardSample(shard)
+            now = time.monotonic()
+            prev_requests = self._prev_requests[index]
+            prev_at = self._prev_at[index]
+            if (sample.requests is not None and prev_requests is not None
+                    and prev_at is not None and now > prev_at):
+                sample.rate = max(0.0, (sample.requests - prev_requests)
+                                  / (now - prev_at))
+            if sample.requests is not None:
+                self._prev_requests[index] = sample.requests
+                self._prev_at[index] = now
+            samples.append(sample)
+        return samples
 
     def line(self) -> str:
-        """Poll once and render the tick as a single summary line."""
-        stats = self.transport.stats()       # None against an old broker
-        depths = queue_depths(self.transport)
-        workers = worker_reports(self.transport)
-        now = time.monotonic()
-        clock = time.strftime("%H:%M:%S")
+        """Poll every shard once and render the tick.
 
-        uptime = rate = inflight = bytes_in = bytes_out = None
-        if stats is not None:
-            server = stats.get("server") or {}
-            snapshot = stats.get("metrics") or {}
-            uptime = float(server.get("uptime_seconds", 0.0))
-            requests = counter_total(snapshot, "broker_requests_total")
-            if self._prev_requests is not None and now > self._prev_at:
-                rate = max(0.0, (requests - self._prev_requests)
-                           / (now - self._prev_at))
-            self._prev_requests, self._prev_at = requests, now
-            inflight = series_value(snapshot, "gauges",
-                                    "broker_inflight_requests")
-            bytes_in = counter_total(snapshot, "broker_bytes_in_total")
-            bytes_out = counter_total(snapshot, "broker_bytes_out_total")
+        One aggregate summary line; fleets with more than one shard get
+        an extra indented row per shard under it."""
+        samples = self._poll()
+        clock = time.strftime("%H:%M:%S")
+        depths = _merge_depths(samples)
+        workers = _merge_workers(samples)
+        any_stats = any(sample.stats is not None for sample in samples)
+        rate = _sum_or_none([sample.rate for sample in samples])
+        uptimes = [sample.uptime for sample in samples
+                   if sample.uptime is not None]
+        uptime = max(uptimes) if uptimes else None  # oldest shard
+        inflight = _sum_or_none([sample.inflight for sample in samples])
+        bytes_in = _sum_or_none([sample.bytes_in for sample in samples])
+        bytes_out = _sum_or_none([sample.bytes_out for sample in samples])
 
         throughput = sum(float(m.get("jobs_per_second", 0.0))
                          for m in workers.values())
         up_cell = f"{uptime:.0f}s" if uptime is not None else "-"
         rate_cell = (f"{rate:.1f} req/s" if rate is not None
-                     else ("- req/s" if stats is None else "... req/s"))
+                     else ("- req/s" if not any_stats else "... req/s"))
         inflight_cell = (f"{inflight:.0f}" if inflight is not None else "-")
-        return (f"{clock} up {up_cell} | {rate_cell} "
-                f"| inflight {inflight_cell} "
-                f"| pending {_depth_cell(depths, 'pending')} "
-                f"claimed {_depth_cell(depths, 'claims')} "
-                f"done {_depth_cell(depths, 'results')} "
-                f"dead {_depth_cell(depths, 'dead')} "
-                f"| {_fmt_bytes(bytes_in)} in {_fmt_bytes(bytes_out)} out "
-                f"| {len(workers)} workers @ {throughput:.1f} jobs/s")
+        summary = (f"{clock} up {up_cell} | {rate_cell} "
+                   f"| inflight {inflight_cell} "
+                   f"| pending {_depth_cell(depths, 'pending')} "
+                   f"claimed {_depth_cell(depths, 'claims')} "
+                   f"done {_depth_cell(depths, 'results')} "
+                   f"dead {_depth_cell(depths, 'dead')} "
+                   f"| {_fmt_bytes(bytes_in)} in {_fmt_bytes(bytes_out)} out "
+                   f"| {len(workers)} workers @ {throughput:.1f} jobs/s")
+        if len(self.shards) == 1:
+            return summary
+        rows = [summary]
+        for shard, sample in zip(self.shards, samples):
+            shard_rate = (f"{sample.rate:.1f} req/s"
+                          if sample.rate is not None
+                          else ("- req/s" if sample.stats is None
+                                else "... req/s"))
+            rows.append(
+                f"  shard {getattr(shard, 'base_url', shard)} "
+                f"| {shard_rate} "
+                f"| pending {_depth_cell(sample.depths, 'pending')} "
+                f"claimed {_depth_cell(sample.depths, 'claims')} "
+                f"done {_depth_cell(sample.depths, 'results')} "
+                f"dead {_depth_cell(sample.depths, 'dead')} "
+                f"| {len(sample.workers)} workers")
+        return "\n".join(rows)
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.campaign.dist.stats",
         description="Live fleet summary for a repro campaign broker.")
-    parser.add_argument("broker", help="broker URL, e.g. http://host:8080")
+    parser.add_argument("broker",
+                        help="broker URL, e.g. http://host:8080 — or a "
+                             "comma-separated shard list "
+                             "(http://b1:8123,http://b2:8123) for an "
+                             "aggregate line plus per-shard rows")
     parser.add_argument("--watch", action="store_true",
                         help="keep polling until interrupted "
                              "(default: one line and exit)")
@@ -176,11 +287,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if not str(args.broker).startswith(("http://", "https://")):
+    urls = [part.strip() for part in str(args.broker).split(",")
+            if part.strip()]
+    if not urls or not all(url.startswith(("http://", "https://"))
+                           for url in urls):
         print(f"error: not a broker URL: {args.broker!r}", file=sys.stderr)
         return 2
-    transport = HttpTransport(args.broker)
-    sampler = FleetSampler(transport)
+    # Per-shard transports, NOT a ShardedTransport: the router's epoch
+    # handshake writes ``meta/epoch``, and a dashboard must never write
+    # to the fleet it is watching.
+    transports = [HttpTransport(url) for url in urls]
+    sampler = FleetSampler(transports)
     ticks = 0
     try:
         while True:
@@ -196,7 +313,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     except KeyboardInterrupt:
         return 0
     finally:
-        transport.close()
+        for transport in transports:
+            transport.close()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

@@ -1120,11 +1120,26 @@ def transport_from_address(address: os.PathLike, retries: int = 5,
     """Build the right transport for an address string.
 
     ``http://`` / ``https://`` URLs get an :class:`HttpTransport` pointed
-    at a broker; anything else is treated as a queue directory on a
-    (possibly shared) filesystem.  This is how the worker CLI's
-    ``--queue`` argument accepts both.
+    at a broker; a comma-separated list of such URLs gets a
+    :class:`~repro.campaign.dist.sharding.ShardedTransport` routing
+    across all of them (``--queue http://b1:8123,http://b2:8123``);
+    anything else is treated as a queue directory on a (possibly shared)
+    filesystem.  This is how the worker CLI's ``--queue`` argument
+    accepts all three.
     """
     text = str(address)
+    if "," in text:
+        # Imported lazily: sharding builds on this module.
+        from repro.campaign.dist.sharding import (
+            ShardedTransport,
+            split_shard_urls,
+        )
+
+        urls = split_shard_urls(text)
+        if urls is not None:
+            return ShardedTransport(
+                [HttpTransport(url, retries=retries,
+                               retry_delay=retry_delay) for url in urls])
     if text.startswith("http://") or text.startswith("https://"):
         return HttpTransport(text, retries=retries, retry_delay=retry_delay)
     return FsTransport(Path(text))

@@ -410,15 +410,23 @@ def main(argv: Optional[list] = None) -> int:
         # One clean line blaming the store that actually failed.  The
         # exception carries the failing transport's own address, compared
         # *exactly* against the constructed transports' addresses (never
-        # substring-matched — nested paths would misblame).  The queue is
-        # the default: it is built first, so with the queue up the only
-        # other store a TransportError can name is the cache — whether
-        # the cache was still being opened or already serving probes.
+        # substring-matched — nested paths would misblame).  A sharded
+        # store's address is a comma-joined URL list while the error
+        # names the one failing shard, so membership in the split list
+        # is the exact comparison.  The queue is the default: it is
+        # built first, so with the queue up the only other store a
+        # TransportError can name is the cache — whether the cache was
+        # still being opened or already serving probes.
+        def _addresses(address):
+            return set(str(address).split(",")) if address else set()
+
         where = f"queue {args.queue!r}"
         failed = getattr(exc, "address", None)
         if (args.cache and queue is not None
-                and failed is not None and failed != queue.address
-                and (cache is None or failed == cache.address)):
+                and failed is not None
+                and failed not in _addresses(queue.address)
+                and (cache is None
+                     or failed in _addresses(cache.address))):
             where = f"cache {args.cache!r}"
         print(f"worker: cannot reach {where}: {exc}",
               file=sys.stderr, flush=True)

@@ -24,6 +24,7 @@ from repro.campaign.dist import (
     FsTransport,
     HttpTransport,
     MemoryTransport,
+    ShardedTransport,
     WorkQueue,
     cost_for_priority,
     priority_for_cost,
@@ -31,7 +32,7 @@ from repro.campaign.dist import (
 from repro.campaign.dist.server import Broker
 from repro.campaign.jobs import JobResult, execute_job
 
-TRANSPORTS = ("fs", "memory", "http")
+TRANSPORTS = ("fs", "memory", "http", "sharded-memory", "sharded-http")
 
 
 def _spec(**overrides):
@@ -64,12 +65,27 @@ def clock():
 @pytest.fixture(params=TRANSPORTS)
 def make_transport(request, tmp_path):
     """Factory yielding transports that all address the *same* store, so
-    tests can model a second process opening an existing queue."""
+    tests can model a second process opening an existing queue.  The
+    sharded params return a *fresh* 2-shard router per call over the same
+    backing shards — exactly how a second worker process joins a sharded
+    fleet — so every queue property is also enforced cross-shard."""
     if request.param == "fs":
         yield lambda: FsTransport(tmp_path / "q")
     elif request.param == "memory":
         shared = MemoryTransport()
         yield lambda: shared
+    elif request.param == "sharded-memory":
+        shards = [MemoryTransport(), MemoryTransport()]
+        yield lambda: ShardedTransport(shards)
+    elif request.param == "sharded-http":
+        brokers = [Broker().start(), Broker().start()]
+        try:
+            yield lambda: ShardedTransport(
+                [HttpTransport(b.url, retries=2, retry_delay=0.05)
+                 for b in brokers])
+        finally:
+            for b in brokers:
+                b.stop()
     else:
         broker = Broker().start()
         try:

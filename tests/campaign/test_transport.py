@@ -18,6 +18,7 @@ from repro.campaign.dist import (
     FsTransport,
     HttpTransport,
     MemoryTransport,
+    ShardedTransport,
     TransportError,
     WorkQueue,
     transport_from_address,
@@ -35,12 +36,28 @@ def _spec(**overrides):
     return SweepSpec(**kwargs)
 
 
-@pytest.fixture(params=["fs", "memory", "http"])
+@pytest.fixture(params=["fs", "memory", "http", "sharded-memory",
+                        "sharded-http"])
 def transport(request, tmp_path):
+    """Every storage contract invariant below also runs over a 2-shard
+    ``ShardedTransport`` (in-memory shards and live-broker shards): the
+    router's scatter-gather and per-shard fan-out must be observationally
+    identical to a single store."""
     if request.param == "fs":
         yield FsTransport(tmp_path / "store")
     elif request.param == "memory":
         yield MemoryTransport()
+    elif request.param == "sharded-memory":
+        yield ShardedTransport([MemoryTransport(), MemoryTransport()])
+    elif request.param == "sharded-http":
+        brokers = [Broker().start(), Broker().start()]
+        try:
+            yield ShardedTransport(
+                [HttpTransport(b.url, retries=2, retry_delay=0.05)
+                 for b in brokers])
+        finally:
+            for b in brokers:
+                b.stop()
     else:
         broker = Broker().start()
         try:
