@@ -6,15 +6,29 @@ both the production kernel (:mod:`repro.sim`) and the frozen seed kernel
 (:mod:`repro.sim.seedref`), in the same process back-to-back so machine
 noise hits both sides alike.
 
-The asserted workload is *immediate churn*: cooperative zero-delay yields
-and event handoffs, the event mix the resource/store/bandwidth layers
-generate (every transfer completion, queue handoff and page-cache hit is a
-``succeed`` at the current timestamp).  This is precisely what the
-immediate-event deque fast path targets, and the acceptance bar is >=2x
-over the seed scheduler on a 100k-event run.  Timer-wheel churn (strictly
-positive delays, pure heap traffic) is reported alongside: it improves too
-(``__slots__``, inlined constructors), but its floor is the C heap and the
-generator protocol, so no 2x is claimed or asserted there.
+Three workloads, one per scheduling structure:
+
+* *immediate churn* — cooperative zero-delay yields and event handoffs,
+  the event mix the resource/store/bandwidth layers generate (every
+  transfer completion, queue handoff and page-cache hit is a ``succeed``
+  at the current timestamp).  This is what the immediate-event deque fast
+  path targets; the tier-1 acceptance bar is >=2x over the seed scheduler
+  on a 100k-event run.
+* *timer churn* — strictly-future timeouts from a small process set, pure
+  timer-wheel traffic.  Tier-1 asserts it does not regress; the wheel in
+  practice buys ~1.5x (its floor is the generator protocol and the event
+  constructors, not the container).
+* *timer fleet churn* — the timeout-heavy workload: thousands of timers
+  pending at once, which is the regime campaign jobs actually run in
+  (every in-flight I/O, device service and profiler sampling interval is
+  a pending ``Timeout``).  The calendar-queue wheel keeps push/pop O(1)
+  where the seed heap pays O(log n); the floor-gated bar is >=1.5x and it
+  is enforced in the perf-smoke CI leg alongside the other ``BENCH_*``
+  floors.
+
+The measured rates are persisted to ``BENCH_kernel.json`` (ops/s + git
+sha + timestamp, committed like the transport/cache/obs artifacts) so the
+kernel's perf trajectory is tracked across PRs.
 """
 
 import time
@@ -24,11 +38,13 @@ import pytest
 import repro.sim as optimized
 from repro.sim import seedref
 
-pytestmark = pytest.mark.tier1
-
-#: Total events in the asserted churn run (acceptance: 100k events).
+#: Total events in each asserted churn run (acceptance: 100k events).
 N_PROCS = 100
 N_ITERS = 1000
+
+#: The timeout-heavy fleet: many pending timers at once.
+FLEET_PROCS = 4000
+FLEET_ITERS = 25
 
 
 def _immediate_churn(kernel):
@@ -55,7 +71,7 @@ def _immediate_churn(kernel):
 
 
 def _timer_churn(kernel):
-    """100k-event churn of strictly-future timeouts (pure heap traffic)."""
+    """100k-event churn of strictly-future timeouts (100 pending timers)."""
     env = kernel.Environment()
 
     def sleeper(delay):
@@ -68,6 +84,22 @@ def _timer_churn(kernel):
     start = time.perf_counter()
     env.run()
     return N_PROCS * N_ITERS, time.perf_counter() - start
+
+
+def _timer_fleet_churn(kernel):
+    """100k-event churn with 4000 concurrently pending timers."""
+    env = kernel.Environment()
+
+    def sleeper(delay):
+        timeout = env.timeout
+        for _ in range(FLEET_ITERS):
+            yield timeout(delay)
+
+    for i in range(FLEET_PROCS):
+        env.process(sleeper(0.001 + i * 1e-6))
+    start = time.perf_counter()
+    env.run()
+    return FLEET_PROCS * FLEET_ITERS, time.perf_counter() - start
 
 
 def _measure(workload, rounds=5):
@@ -100,9 +132,11 @@ def throughput():
     return {
         "immediate": _measure(_immediate_churn),
         "timer": _measure(_timer_churn),
+        "timer_fleet": _measure(_timer_fleet_churn),
     }
 
 
+@pytest.mark.tier1
 def test_immediate_churn_speedup_at_least_2x(throughput):
     rates = throughput["immediate"]
     speedup = rates["optimized"] / rates["seed"]
@@ -110,6 +144,7 @@ def test_immediate_churn_speedup_at_least_2x(throughput):
         # A heavily loaded host can compress the gap; one longer, calmer
         # remeasure before declaring the optimization regressed.
         rates = _measure(_immediate_churn, rounds=9)
+        throughput["immediate"] = rates
         speedup = rates["optimized"] / rates["seed"]
     print(f"\nimmediate churn: seed {rates['seed']:,.0f} ev/s, "
           f"optimized {rates['optimized']:,.0f} ev/s -> {speedup:.2f}x")
@@ -118,16 +153,49 @@ def test_immediate_churn_speedup_at_least_2x(throughput):
         f"got {speedup:.2f}x")
 
 
+@pytest.mark.tier1
 def test_timer_churn_does_not_regress(throughput):
     rates = throughput["timer"]
     speedup = rates["optimized"] / rates["seed"]
     print(f"\ntimer churn: seed {rates['seed']:,.0f} ev/s, "
           f"optimized {rates['optimized']:,.0f} ev/s -> {speedup:.2f}x")
-    # Heap-bound traffic must at minimum not get slower; in practice the
-    # slots/inlining work buys ~1.3-1.4x.
+    # Heap-bound traffic at small pending counts must at minimum not get
+    # slower; in practice the timer wheel buys ~1.5x here.  The >=1.5x
+    # floor proper is asserted on the fleet workload below (perf-smoke
+    # leg), where the pending-timer population matches real campaign jobs
+    # and the ratio is less noise-sensitive.
     assert speedup >= 1.0
 
 
+def test_timer_fleet_speedup_floor_and_artifact(throughput, bench_artifact):
+    """Floor-gate the timeout-heavy workload and persist BENCH_kernel.json.
+
+    Auto-marked ``bench`` (no tier1 marker), so it runs in the perf-smoke
+    CI leg with the other BENCH floors rather than on every tier-1 run.
+    """
+    rates = throughput["timer_fleet"]
+    speedup = rates["optimized"] / rates["seed"]
+    if speedup < 1.5:
+        rates = _measure(_timer_fleet_churn, rounds=9)
+        throughput["timer_fleet"] = rates
+        speedup = rates["optimized"] / rates["seed"]
+    print(f"\ntimer fleet churn ({FLEET_PROCS} pending): "
+          f"seed {rates['seed']:,.0f} ev/s, "
+          f"optimized {rates['optimized']:,.0f} ev/s -> {speedup:.2f}x")
+
+    results = {}
+    for workload, pair in throughput.items():
+        results[f"{workload}_seed_events_per_s"] = pair["seed"]
+        results[f"{workload}_optimized_events_per_s"] = pair["optimized"]
+        results[f"{workload}_speedup_x"] = pair["optimized"] / pair["seed"]
+    bench_artifact("kernel", results)
+
+    assert speedup >= 1.5, (
+        f"expected >=1.5x event throughput on the timeout-heavy fleet "
+        f"workload, got {speedup:.2f}x")
+
+
+@pytest.mark.tier1
 def test_both_kernels_agree_on_the_churn_schedule():
     """The benchmark is only meaningful if both kernels do the same work."""
     def trace(kernel):

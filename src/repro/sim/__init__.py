@@ -14,6 +14,7 @@ from repro.sim.events import AllOf, AnyOf, Event, Process, Timeout
 from repro.sim.resources import Container, Request, Resource, Store
 from repro.sim.rng import DEFAULT_SEED, derive_seed, make_rng
 from repro.sim.threads import Job, WorkerPool
+from repro.sim.timerwheel import TimerWheel
 
 __all__ = [
     "AllOf",
@@ -33,6 +34,7 @@ __all__ = [
     "SimulationError",
     "Store",
     "Timeout",
+    "TimerWheel",
     "TransferRecord",
     "WorkerPool",
     "derive_seed",

@@ -1,31 +1,45 @@
 """The simulation :class:`Environment`: event queues and virtual clock.
 
 The seed kernel kept a single binary heap of ``(time, priority, eid,
-event)`` tuples.  The optimized environment splits scheduling into two
-structures:
+event)`` tuples.  The optimized environment splits scheduling three ways:
 
-* ``_queue`` — a binary heap of ``(time, key, event)`` for events in the
-  *future* (and for the rare URGENT events), where ``key`` folds the
-  priority and a monotonic sequence number into one integer
-  (``priority << 52 | seq``);
 * ``_imm`` — a FIFO deque of NORMAL-priority events scheduled for the
   *current* timestamp.  Triggering an event (``succeed`` / ``fail`` /
   ``trigger``) and zero-delay timeouts are the hottest operations in the
   resource, store and bandwidth layers, and a deque append/popleft is O(1)
   with no tuple comparisons.
+* ``_wheel`` — a :class:`~repro.sim.timerwheel.TimerWheel` (calendar
+  queue) for *near-future* NORMAL events: fire times are bucketed into
+  power-of-two ticks (``2**-tick_bits`` seconds), an accepted event is an
+  O(1) append into its tick's slot, and a slot is sorted once when the
+  clock reaches it.  Strictly-future timeouts — the simulated I/O
+  latencies, device service times and profiler sampling intervals that
+  dominate campaign jobs — stop paying the heap's O(log n) sift.
+* ``_queue`` — a binary heap of ``(time, key, event)`` for everything
+  else: URGENT events, events beyond the wheel horizon, and events
+  landing on the tick currently being drained.  ``key`` folds the
+  priority and a monotonic sequence number into one integer
+  (``priority << 52 | seq``).
 
 The merge rule in :meth:`step`/:meth:`run` preserves the seed order
-exactly.  Two invariants make it cheap:
+exactly.  Three invariants make it cheap:
 
 1. every entry in ``_imm`` was scheduled *at* the current time, and the
    clock only advances when ``_imm`` is empty — so ``_imm`` always holds
    events for ``now`` in FIFO (= ascending key) order;
-2. heap entries are never in the past, so the head of ``_imm`` loses only
-   to a heap entry at exactly ``now`` with a smaller key (an URGENT event
+2. wheel and heap entries are never in the past (``schedule`` rejects
+   negative and NaN delays), so the head of ``_imm`` loses only to a
+   scheduled entry at exactly ``now`` with a smaller key (an URGENT event
    such as a process initializer or an interrupt, or a timeout whose float
-   fire-time collapsed onto ``now``).
+   fire-time collapsed onto ``now``);
+3. the wheel serves entries in ``(time, key)`` order and the heap top is
+   compared against the wheel head on every pop, so the earlier of the
+   two is always the global minimum of the strictly-future schedule.
 
-Hence one float comparison against the heap top decides almost every pop.
+Hence one float comparison against the wheel head (or heap top) decides
+almost every pop, and ``(time, key)`` tie-breaks reproduce the seed
+kernel's ``(time, priority, eid)`` order bit for bit — property/differential
+tests pin this against the frozen :mod:`repro.sim.seedref`.
 """
 
 from __future__ import annotations
@@ -44,6 +58,11 @@ from repro.sim.events import (
     Process,
     Timeout,
 )
+from repro.sim.timerwheel import TimerWheel
+
+#: Pre-bound allocator for the fused Timeout construction in
+#: :meth:`Environment.timeout` (skips one class-attribute lookup per event).
+_new_timeout = Timeout.__new__
 
 
 class Environment:
@@ -55,14 +74,24 @@ class Environment:
     their timestamps are mutually consistent, exactly like wall-clock
     timestamps shared between Darshan and the TensorFlow runtime in the
     paper.
+
+    ``tick_bits`` and ``wheel_slots`` size the timer wheel: the tick is
+    ``2**-tick_bits`` seconds (default ~0.98 ms) and the wheel covers
+    ``wheel_slots`` ticks (default 1024, i.e. a 1 s horizon); events beyond
+    the horizon spill to the heap.  The knobs change only *where* an event
+    waits, never the order it fires in — the differential tests run with
+    deliberately tiny wheels to prove it.
     """
 
-    __slots__ = ("_now", "_queue", "_imm", "_eid", "_active_process")
+    __slots__ = ("_now", "_queue", "_imm", "_wheel", "_eid", "_active_process")
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0, tick_bits: int = 10,
+                 wheel_slots: int = 1024):
         self._now = float(initial_time)
         self._queue: list = []
         self._imm: deque = deque()
+        self._wheel = TimerWheel(self._now, tick_bits=tick_bits,
+                                 nslots=wheel_slots)
         self._eid = 0
         self._active_process: Optional[Process] = None
 
@@ -83,8 +112,41 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that fires ``delay`` seconds from now."""
-        return Timeout(self, delay, value)
+        """Create an event that fires ``delay`` seconds from now.
+
+        This is the hottest constructor in the kernel — every simulated
+        latency of every campaign job passes through here — so the body of
+        :class:`Timeout.__init__ <repro.sim.events.Timeout>` is fused in
+        via ``__new__`` (no type-call dispatch, no second frame).  The two
+        bodies must stay behaviourally identical; the differential tests
+        exercise both (``env.timeout`` here, ``Timeout(env, ...)``
+        directly).
+        """
+        if not delay >= 0:
+            raise ValueError(f"negative or NaN delay {delay!r}")
+        event = _new_timeout(Timeout)
+        event.env = self
+        event.callbacks = []
+        event._value = value
+        event._ok = True
+        event.defused = False
+        event.delay = delay
+        self._eid = eid = self._eid + 1
+        if delay == 0.0:
+            event._key = PRIORITY_STRIDE + eid
+            self._imm.append(event)
+        else:
+            t = self._now + delay
+            key = PRIORITY_STRIDE + eid
+            wheel = self._wheel
+            tn = int(t * wheel.tick_inv)
+            d = tn - wheel.cur_tick
+            if 0 < d < wheel.nslots:
+                wheel.slots[tn & wheel.mask].append((t, key, event))
+                wheel.count += 1
+            elif not wheel.push(t, key, event, self._now):
+                heappush(self._queue, (t, key, event))
+        return event
 
     def process(self, generator: Generator) -> Process:
         """Start a new process from ``generator`` and return it."""
@@ -100,32 +162,58 @@ class Environment:
 
     # -- scheduling --------------------------------------------------------
     def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
-        """Schedule ``event`` to be processed after ``delay`` seconds."""
+        """Schedule ``event`` to be processed after ``delay`` seconds.
+
+        ``delay`` must be a non-negative number: a negative delay would
+        plant an entry in the *past*, silently violating the merge
+        invariant that ``_imm`` always beats the schedule at strictly
+        earlier times (and NaN, which compares false against everything,
+        would corrupt the heap ordering outright).
+        """
+        if not delay >= 0.0:
+            raise ValueError(f"delay must be non-negative, not NaN (got {delay!r})")
         self._eid = eid = self._eid + 1
         key = priority * PRIORITY_STRIDE + eid
         if delay == 0.0 and priority == NORMAL:
             event._key = key
             self._imm.append(event)
         else:
-            heappush(self._queue, (self._now + delay, key, event))
+            t = self._now + delay
+            if not self._wheel.push(t, key, event, self._now):
+                heappush(self._queue, (t, key, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event (``inf`` if the queue is empty)."""
         if self._imm:
             return self._now
-        return self._queue[0][0] if self._queue else float("inf")
+        head = self._wheel.head()
+        t = head[0] if head is not None else float("inf")
+        if self._queue and self._queue[0][0] < t:
+            t = self._queue[0][0]
+        return t
 
     def _pop(self) -> Event:
         """Remove and return the next event in seed-scheduler order."""
         imm = self._imm
         queue = self._queue
-        if imm and (not queue or queue[0][0] > self._now
-                    or queue[0][1] > imm[0]._key):
-            return imm.popleft()
-        if not queue:
+        wheel = self._wheel
+        entry = wheel.head()
+        from_wheel = True
+        if queue and (entry is None or queue[0] < entry):
+            entry = queue[0]
+            from_wheel = False
+        if entry is None:
+            if imm:
+                return imm.popleft()
             raise EmptySchedule("no scheduled events")
-        self._now, _, event = heappop(queue)
-        return event
+        if imm and (entry[0] > self._now or entry[1] > imm[0]._key):
+            return imm.popleft()
+        if from_wheel:
+            wheel.ci += 1
+        else:
+            heappop(queue)
+        self._now = entry[0]
+        return entry[2]
 
     def step(self) -> None:
         """Process the next scheduled event.
@@ -148,15 +236,21 @@ class Environment:
 
         ``until`` may be ``None`` (run until the event queue drains), a
         number (run until that simulated time), or an :class:`Event` (run
-        until the event fires, returning its value).
+        until the event fires, returning its value).  If the target event
+        *failed* — whether it is processed already or fires during this
+        run — its exception is raised, exactly like the :meth:`_stop_on`
+        path.
         """
         target_event: Optional[Event] = None
         if until is not None:
             if isinstance(until, Event):
                 target_event = until
                 if target_event.callbacks is None:
-                    # Already processed.
-                    return target_event.value
+                    # Already processed: mirror _stop_on for both outcomes.
+                    if target_event._ok:
+                        return target_event._value
+                    target_event.defused = True
+                    raise target_event._value
                 target_event.callbacks.append(self._stop_on)
             else:
                 at = float(until)
@@ -173,20 +267,57 @@ class Environment:
         # Inlined event loop: identical to repeated step() calls, but with
         # the queue bookkeeping in local variables.  This loop dispatches
         # every event of every simulation, so each saved attribute lookup
-        # is worth its weight.
+        # is worth its weight.  ``cur``/``ci`` shadow the wheel's sorted
+        # slot buffer; only step()/run() consume it, and push() never
+        # touches it, so the locals stay valid across callbacks — they are
+        # written back in the ``finally`` so step()/peek() stay correct
+        # after an exception or a StopSimulation unwind.
         queue = self._queue
         imm = self._imm
         pop_imm = imm.popleft
+        wheel = self._wheel
+        cur = wheel.cur
+        ci = wheel.ci
+        ncur = len(cur)  # cur never grows while draining: push() refuses its tick
         now = self._now
         try:
             while True:
-                if imm and (not queue or queue[0][0] > now
-                            or queue[0][1] > imm[0]._key):
-                    event = pop_imm()
+                # Head of the strictly-future schedule (wheel ∪ heap).
+                if ci < ncur:
+                    entry = cur[ci]
+                    if queue and queue[0] < entry:
+                        entry = None
+                elif wheel.count:
+                    entry = wheel._advance()
+                    cur = wheel.cur
+                    ci = 0
+                    ncur = len(cur)
+                    if queue and queue[0] < entry:
+                        entry = None
+                else:
+                    if ncur:
+                        # Exhausted buffer: normalize so push() can resync.
+                        wheel.cur = cur = []
+                        wheel.ci = ci = ncur = 0
+                    entry = None
+
+                if entry is not None:
+                    if imm and (entry[0] > now or entry[1] > imm[0]._key):
+                        event = pop_imm()
+                    else:
+                        ci += 1
+                        self._now = now = entry[0]
+                        event = entry[2]
                 elif queue:
-                    entry = heappop(queue)
-                    self._now = now = entry[0]
-                    event = entry[2]
+                    entry = queue[0]
+                    if imm and (entry[0] > now or entry[1] > imm[0]._key):
+                        event = pop_imm()
+                    else:
+                        heappop(queue)
+                        self._now = now = entry[0]
+                        event = entry[2]
+                elif imm:
+                    event = pop_imm()
                 else:
                     break
                 callbacks = event.callbacks
@@ -200,6 +331,9 @@ class Environment:
                     raise event._value
         except StopSimulation as stop:
             return stop.value
+        finally:
+            wheel.cur = cur
+            wheel.ci = ci
 
         if target_event is not None and not target_event.triggered:
             raise SimulationError(

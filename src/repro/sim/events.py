@@ -18,9 +18,11 @@ rather than for elegance:
   initializer) assign all slots inline instead of chaining ``__init__``
   calls, and schedule themselves directly onto the environment's queues;
 * events that fire *now* at NORMAL priority are appended to a FIFO deque
-  (O(1)) instead of the binary heap (O(log n)) — see
-  :class:`~repro.sim.environment.Environment` for the merge rule that keeps
-  the combined order identical to the seed scheduler;
+  (O(1)) and strictly-future timeouts land in a calendar-queue timer wheel
+  (:mod:`repro.sim.timerwheel`, O(1) slot append) instead of the binary
+  heap (O(log n)) — see :class:`~repro.sim.environment.Environment` for
+  the three-way merge rule that keeps the combined order identical to the
+  seed scheduler;
 * :class:`Process` caches the generator's bound ``send``/``throw`` and
   fast-paths the overwhelmingly common case of a process yielding one
   pending event.
@@ -157,8 +159,11 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, env, delay: float, value: Any = None):
-        if delay < 0:
-            raise ValueError(f"negative delay {delay}")
+        if not delay >= 0:
+            # One comparison rejects both negative delays and NaN (which
+            # compares false against everything and would otherwise corrupt
+            # the heap/wheel ordering instead of failing loudly).
+            raise ValueError(f"negative or NaN delay {delay!r}")
         # Inlined Event.__init__ + Environment.schedule: a Timeout is
         # created for every simulated latency in every job of a campaign.
         self.env = env
@@ -172,7 +177,20 @@ class Timeout(Event):
             self._key = PRIORITY_STRIDE + eid
             env._imm.append(self)
         else:
-            heappush(env._queue, (env._now + delay, PRIORITY_STRIDE + eid, self))
+            t = env._now + delay
+            key = PRIORITY_STRIDE + eid
+            # Inlined TimerWheel.push fast path (one method call per
+            # simulated latency is measurable): in-horizon ticks append
+            # straight into their slot; everything else goes through the
+            # canonical push() for the idle-resync, then the heap.
+            wheel = env._wheel
+            tn = int(t * wheel.tick_inv)
+            d = tn - wheel.cur_tick
+            if 0 < d < wheel.nslots:
+                wheel.slots[tn & wheel.mask].append((t, key, self))
+                wheel.count += 1
+            elif not wheel.push(t, key, self, env._now):
+                heappush(env._queue, (t, key, self))
 
 
 class Initialize(Event):
@@ -182,7 +200,7 @@ class Initialize(Event):
 
     def __init__(self, env, process: "Process"):
         self.env = env
-        self.callbacks = [process._resume]
+        self.callbacks = [process._resume_cb]
         self._value = None
         self._ok = True
         self.defused = False
@@ -201,7 +219,7 @@ class Process(Event):
     inside the generator.
     """
 
-    __slots__ = ("_generator", "_target", "_send", "_throw")
+    __slots__ = ("_generator", "_target", "_send", "_throw", "_resume_cb")
 
     def __init__(self, env, generator: Generator):
         if not hasattr(generator, "throw"):
@@ -214,6 +232,10 @@ class Process(Event):
         self._generator = generator
         self._send = generator.send
         self._throw = generator.throw
+        #: The bound ``_resume`` callback, created once: appending
+        #: ``self._resume`` would allocate a fresh bound method per yield,
+        #: which is measurable on the million-event hot path.
+        self._resume_cb = self._resume
         self._target: Optional[Event] = Initialize(env, self)
 
     @property
@@ -240,10 +262,10 @@ class Process(Event):
         # the process, and detach from the original target.
         if self._target is not None and self._target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
-        event.callbacks = [self._resume]
+        event.callbacks = [self._resume_cb]
         self.env.schedule(event, priority=URGENT)
 
     # -- generator stepping ---------------------------------------------
@@ -285,7 +307,7 @@ class Process(Event):
 
             if cbs is not None:
                 # Event not yet processed: wait for it.
-                cbs.append(self._resume)
+                cbs.append(self._resume_cb)
                 self._target = next_event
                 break
             # Event already processed: feed its value back in immediately.
@@ -303,7 +325,10 @@ class Condition(Event):
         super().__init__(env)
         self.events: List[Event] = list(events)
         self._completed = 0
-        self._fired: List[Event] = []
+        #: Sub-events that fired, as a set: ``_collect_values`` probes
+        #: membership once per sub-event, which would be quadratic for
+        #: wide ``AllOf`` grids with a list (events hash by identity).
+        self._fired = set()
         if not self.events:
             self.succeed({})
             return
@@ -328,12 +353,18 @@ class Condition(Event):
 
     def _check(self, event: Event) -> None:
         if self.triggered:
+            # A sub-event failing *after* the condition fired (e.g. the
+            # second failure reaching an AnyOf) was still consumed by this
+            # condition: defuse it so Environment.run does not re-raise an
+            # exception the condition's waiter already handled.
+            if event._ok is False:
+                event.defused = True
             return
         if not event._ok:
             event.defused = True
             self.fail(event._value)
             return
-        self._fired.append(event)
+        self._fired.add(event)
         self._completed += 1
         if self._evaluate():
             self.succeed(self._collect_values())

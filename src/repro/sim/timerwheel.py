@@ -1,0 +1,155 @@
+"""Calendar-queue timer wheel for strictly-future NORMAL events.
+
+The optimized :class:`~repro.sim.environment.Environment` splits its
+schedule three ways: a FIFO deque for events triggered *at* the current
+time, this wheel for near-future events, and a binary heap for everything
+else (URGENT events, far-future timeouts beyond the wheel horizon, and
+events landing on the tick currently being drained).  The wheel turns the
+hot ``Timeout`` path — the paper's simulated I/O latencies, device service
+times and profiler sampling intervals — from an O(log n) heap sift into an
+O(1) slot append plus an amortized near-linear sort at drain time.
+
+Design
+------
+
+Simulated time is bucketed into **ticks** of ``2**-tick_bits`` seconds.  A
+power-of-two tick makes ``t * tick_inv`` an exact float scaling, so two
+times bucket identically regardless of magnitude.  The wheel keeps
+``nslots`` (power of two) slot lists covering the tick range
+``(cur_tick, cur_tick + nslots)``; an event whose fire time falls in that
+window is appended to ``slots[tick & mask]`` in O(1).  Everything outside
+the window — including the *current* tick, so a slot is never appended to
+after it started draining — is refused and the caller falls back to the
+environment's heap, where correctness never depends on the wheel at all.
+
+Draining is lazy: :meth:`head` walks the cursor to the next non-empty
+slot, sorts it **once** by ``(time, key)`` into the ``cur`` buffer, and
+serves entries by index.  Keys are unique (they fold the priority and a
+monotonic sequence number), so the sort never compares event objects and
+FIFO-within-a-tick is exactly the seed scheduler's ``(time, priority,
+eid)`` order.  Timer-driven workloads append each slot in nearly sorted
+order, which Timsort drains in ~n comparisons.
+
+The environment merges the wheel with its heap by comparing ``head()``
+against the heap top on every pop — the wheel never has to *contain* all
+future events to be correct, it only has to order the ones it accepted.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+#: A scheduled entry: ``(fire_time, key, event)``.  ``key`` folds priority
+#: and sequence number (see :mod:`repro.sim.events`) and is unique per
+#: environment, so tuple comparisons never reach the event object.
+Entry = Tuple[float, int, object]
+
+
+class TimerWheel:
+    """One-level calendar queue with a power-of-two tick.
+
+    The wheel is deliberately *incomplete*: :meth:`push` refuses entries
+    outside its horizon (returning ``False``) instead of cascading
+    hierarchical levels, because the caller already owns a heap that
+    handles arbitrary times.  That keeps every accepted operation O(1)
+    and the merge rule a single tuple comparison.
+    """
+
+    __slots__ = ("tick_inv", "nslots", "mask", "slots", "cur", "ci",
+                 "cur_tick", "count")
+
+    def __init__(self, start_time: float = 0.0, tick_bits: int = 10,
+                 nslots: int = 1024):
+        if nslots < 2 or nslots & (nslots - 1):
+            raise ValueError(f"nslots must be a power of two >= 2, got {nslots}")
+        #: Ticks per second; a power of two so bucketing is exact.
+        self.tick_inv = float(2 ** tick_bits)
+        self.nslots = nslots
+        self.mask = nslots - 1
+        self.slots: List[List[Entry]] = [[] for _ in range(nslots)]
+        #: Sorted buffer of the slot currently being drained.
+        self.cur: List[Entry] = []
+        #: Consumption index into :attr:`cur`.
+        self.ci = 0
+        #: Tick number of the slot last sorted into :attr:`cur`.
+        self.cur_tick = int(start_time * self.tick_inv)
+        #: Entries sitting in undrained slots (excludes :attr:`cur`).
+        self.count = 0
+
+    def push(self, t: float, key: int, event: object, now: float) -> bool:
+        """Accept ``(t, key, event)`` into a slot, or return ``False``.
+
+        ``False`` means the caller must heap-push instead: the entry is on
+        the currently-draining tick (appending would race the sorted
+        buffer), beyond the horizon, or in the past relative to the
+        cursor.  When the wheel is completely idle the cursor snaps
+        forward to ``now`` first, so a simulation that ran heap-only for a
+        long virtual span regains the wheel for its next burst of timers.
+        """
+        tn = int(t * self.tick_inv)
+        d = tn - self.cur_tick
+        if d >= self.nslots and not self.count and self.ci >= len(self.cur):
+            self.cur_tick = ct = int(now * self.tick_inv)
+            d = tn - ct
+        if 0 < d < self.nslots:
+            self.slots[tn & self.mask].append((t, key, event))
+            self.count += 1
+            return True
+        return False
+
+    def head(self) -> Optional[Entry]:
+        """The earliest pending entry, or ``None`` if the wheel is empty.
+
+        Advances the cursor (sorting at most one slot) as a side effect;
+        that is semantically invisible because new entries for ticks at or
+        behind the cursor are refused by :meth:`push` and go to the heap,
+        where the environment's merge comparison orders them anyway.
+        """
+        if self.ci < len(self.cur):
+            return self.cur[self.ci]
+        if self.count:
+            return self._advance()
+        if self.cur:
+            # Normalize the exhausted buffer so the idle-resync test in
+            # push() (``ci >= len(cur)`` with ci reset to 0) stays true.
+            self.cur = []
+            self.ci = 0
+        return None
+
+    def pop(self) -> Entry:
+        """Consume and return the entry :meth:`head` just reported."""
+        entry = self.cur[self.ci]
+        self.ci += 1
+        return entry
+
+    def _advance(self) -> Entry:
+        """Walk to the next non-empty slot, sort it, return its head.
+
+        Only called with ``count > 0``; every counted entry lives within
+        ``nslots`` ticks of the cursor, so the walk terminates.
+        """
+        slots = self.slots
+        mask = self.mask
+        tick = self.cur_tick
+        while True:
+            tick += 1
+            slot = slots[tick & mask]
+            if slot:
+                break
+        self.cur_tick = tick
+        slots[tick & mask] = []
+        slot.sort()
+        self.cur = slot
+        self.ci = 0
+        self.count -= len(slot)
+        return slot[0]
+
+    def __len__(self) -> int:
+        return self.count + len(self.cur) - self.ci
+
+    def __bool__(self) -> bool:
+        return self.count > 0 or self.ci < len(self.cur)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<TimerWheel tick=1/{self.tick_inv:g}s slots={self.nslots} "
+                f"pending={len(self)} cur_tick={self.cur_tick}>")

@@ -1,8 +1,10 @@
 """Tests for the simulation environment, events and processes."""
 
+import math
+
 import pytest
 
-from repro.sim import Environment, Interrupt, SimulationError
+from repro.sim import Environment, Interrupt, SimulationError, Timeout
 from repro.sim.errors import EmptySchedule
 
 
@@ -27,6 +29,31 @@ def test_timeout_negative_delay_rejected():
     env = Environment()
     with pytest.raises(ValueError):
         env.timeout(-1.0)
+
+
+def test_timeout_nan_delay_rejected():
+    # NaN compares false against everything: a `delay < 0` check lets it
+    # through and the un-orderable fire time then corrupts the schedule.
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(math.nan)
+    with pytest.raises(ValueError):
+        Timeout(env, math.nan)
+
+
+def test_schedule_negative_delay_rejected():
+    # Regression: schedule() used to accept negative delays, planting a
+    # heap entry in the past and silently breaking the merge invariant
+    # that the immediate deque always beats strictly-earlier entries.
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.schedule(env.event(), delay=-0.5)
+
+
+def test_schedule_nan_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.schedule(env.event(), delay=math.nan)
 
 
 def test_run_until_time_stops_early():
@@ -237,6 +264,66 @@ def test_run_until_already_processed_event():
     t = env.timeout(1.0, value="x")
     env.run()
     assert env.run(until=t) == "x"
+
+
+def test_run_until_already_processed_failed_event_raises():
+    # Regression: run(until=<processed failed event>) used to *return* the
+    # exception instance as the run value instead of raising it, unlike
+    # the _stop_on path taken when the target fails during the run.
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1.0)
+        raise RuntimeError("went wrong")
+
+    p = env.process(bad())
+    with pytest.raises(RuntimeError, match="went wrong"):
+        env.run()
+    assert p.processed and not p.ok
+    with pytest.raises(RuntimeError, match="went wrong"):
+        env.run(until=p)
+
+
+def test_any_of_second_failure_after_trigger_is_defused():
+    # Regression: a sub-event failure arriving after the condition already
+    # triggered was never defused, so run() re-raised an exception the
+    # condition's waiter had already handled.
+    env = Environment()
+    e1 = env.event()
+    e2 = env.event()
+
+    def waiter():
+        try:
+            yield env.any_of([e1, e2])
+        except RuntimeError as exc:
+            return f"caught:{exc}"
+
+    def failer():
+        yield env.timeout(1.0)
+        e1.fail(RuntimeError("first"))
+        e2.fail(RuntimeError("second"))
+
+    p = env.process(waiter())
+    env.process(failer())
+    assert env.run(until=p) == "caught:first"
+    # And the queue drains cleanly afterwards — no orphaned failure left.
+    env.run()
+
+
+def test_wide_all_of_collects_every_value_in_declaration_order():
+    # Covers the set-based fired-event tracking in Condition (the old list
+    # probe made wide AllOf grids quadratic) and pins that the result dict
+    # preserves declaration order, not completion order.
+    env = Environment()
+    n = 400
+    events = [env.timeout(1.0 + (i % 7) * 0.25, value=i) for i in range(n)]
+
+    def proc():
+        results = yield env.all_of(events)
+        return list(results.values())
+
+    p = env.process(proc())
+    assert env.run(until=p) == list(range(n))
 
 
 def test_timestamps_are_monotonic_across_many_events():

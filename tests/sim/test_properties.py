@@ -301,6 +301,105 @@ def _assert_same_on_seedref_mixed():
 
 
 # ---------------------------------------------------------------------------
+# Timer-wheel schedules: zero-delay / same-tick / cross-tick / overflow
+# ---------------------------------------------------------------------------
+
+#: The default wheel tick (``2**-tick_bits`` with ``tick_bits=10``).
+_TICK = 2.0 ** -10
+
+#: Delays chosen around the wheel geometry: zero-delay (deque fast path),
+#: several sub-tick fractions (collide in one slot, must stay time-then-FIFO
+#: ordered), exact and off-by-one tick boundaries, multi-tick hops, the
+#: 1-second horizon edge, and far-future delays that spill to the heap.
+_WHEEL_DELAYS = st.sampled_from([
+    0.0,
+    0.25 * _TICK, 0.5 * _TICK, 0.75 * _TICK,
+    _TICK, 2.0 * _TICK, 2.5 * _TICK, 17.0 * _TICK,
+    1.0 - _TICK, 1.0,
+    1.5, 70.0,
+])
+
+
+@given(st.lists(st.tuples(_WHEEL_DELAYS, _WHEEL_DELAYS),
+                min_size=1, max_size=25))
+@settings(max_examples=60, deadline=None)
+def test_wheel_schedules_match_seed_kernel(schedule):
+    """Chained timeouts across every wheel regime match the seed exactly.
+
+    Each process sleeps twice, so second-hop timers are created *mid-run*
+    from non-zero current times — that exercises slot wrap-around, entries
+    landing on the currently-draining tick (heap fallback), and the
+    wheel/heap merge at every combination of the delay classes above.
+    """
+    import repro.sim as optimized
+
+    def run(kernel):
+        env = kernel.Environment()
+        trace = []
+
+        def proc(i, d1, d2):
+            yield env.timeout(d1)
+            trace.append((env.now, i, 0))
+            yield env.timeout(d2)
+            trace.append((env.now, i, 1))
+
+        for i, (d1, d2) in enumerate(schedule):
+            env.process(proc(i, d1, d2))
+        env.run()
+        return env.now, trace
+
+    assert run(optimized) == run(seedref)
+
+
+@given(st.lists(st.tuples(_WHEEL_DELAYS,
+                          st.sampled_from(["spawn", "interrupt", "plain"])),
+                min_size=1, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_wheel_schedules_with_urgent_events_match_seed_kernel(steps):
+    """URGENT traffic (process initializers, interrupts) interleaved with
+    wheel-resident timers: URGENT events always ride the heap, so this
+    pins the merge rule that a heap entry at the same timestamp with a
+    smaller key preempts both the wheel head and the immediate deque."""
+    import repro.sim as optimized
+
+    def run(kernel):
+        env = kernel.Environment()
+        trace = []
+        handles = []
+
+        def child(i):
+            yield env.timeout(0.5 * _TICK)
+            trace.append((env.now, "child", i))
+
+        def proc(i, d, action):
+            try:
+                yield env.timeout(d)
+                trace.append((env.now, "first", i))
+                if action == "spawn":
+                    env.process(child(i))
+                elif action == "interrupt":
+                    target = handles[(i + 1) % len(handles)]
+                    if target.is_alive and target is not env.active_process:
+                        target.interrupt(("by", i))
+                yield env.timeout(d)
+                trace.append((env.now, "second", i))
+            except Interrupt as interrupt:
+                trace.append((env.now, "intr", i,
+                              _normalize_value(interrupt.cause)))
+
+        for i, (d, action) in enumerate(steps):
+            handles.append(env.process(proc(i, d, action)))
+        try:
+            env.run()
+        except BaseException as exc:  # noqa: BLE001 - must match seed
+            trace.append(("raised", type(exc).__name__,
+                          _normalize_args(exc.args)))
+        return env.now, trace
+
+    assert run(optimized) == run(seedref)
+
+
+# ---------------------------------------------------------------------------
 # Differential tests: optimized kernel vs. frozen seed kernel
 # ---------------------------------------------------------------------------
 
@@ -440,6 +539,29 @@ def test_randomized_graphs_match_seed_kernel(graph_seed):
     import repro.sim as optimized
 
     fast_trace = _run_random_graph(optimized, graph_seed)
+    seed_trace = _run_random_graph(seedref, graph_seed)
+    assert fast_trace == seed_trace
+
+
+class _TinyWheelKernel:
+    """Kernel shim with a deliberately undersized timer wheel.
+
+    ``tick_bits=2, wheel_slots=8`` gives a 0.25 s tick and a 2 s horizon,
+    so the random graphs (delays up to 1 s, sweeper at 50 s) constantly
+    wrap the slot array and spill to the heap — the sizing knobs must change
+    only *where* events wait, never the order they fire in.
+    """
+
+    @staticmethod
+    def Environment():
+        from repro.sim import Environment
+        return Environment(tick_bits=2, wheel_slots=8)
+
+
+@given(st.integers(min_value=0, max_value=2**32))
+@settings(max_examples=40, deadline=None)
+def test_randomized_graphs_match_seed_kernel_on_tiny_wheel(graph_seed):
+    fast_trace = _run_random_graph(_TinyWheelKernel, graph_seed)
     seed_trace = _run_random_graph(seedref, graph_seed)
     assert fast_trace == seed_trace
 
