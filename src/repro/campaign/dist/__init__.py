@@ -25,7 +25,16 @@ that any mix of threads, processes and hosts can participate in:
   (``--queue http://b1:8123,http://b2:8123``) consistent-hash-routes
   each job's document family to one shard, scatter-gathers listings and
   batches, and guards resharding with a per-shard ``meta/epoch``
-  handshake;
+  handshake.  Each shard sits behind a
+  :class:`~repro.campaign.dist.breaker.CircuitBreaker`, so a dead broker
+  is shed fast instead of stalling every call, and ``degraded_reads=True``
+  turns scatter-gather reads into
+  :class:`~repro.campaign.dist.transport.DegradedResult`-tagged partials
+  ("N of M shards reporting").
+  :class:`~repro.campaign.dist.chaos.ChaosTransport` wraps any transport
+  with a deterministic :class:`~repro.campaign.dist.chaos.FaultPlan`
+  (seeded error rates, latency, partition windows, torn writes) for
+  failure-injection tests — see ``docs/robustness.md``;
 * :class:`~repro.campaign.dist.queue.WorkQueue` — durable work queue over
   any transport, with conditional-create claims whose documents double as
   heartbeat-renewed leases, a retry policy and a max-attempt dead-letter
@@ -58,6 +67,8 @@ machine, transports and operational recipes in ``docs/distributed.md``,
 ``docs/cookbook.md`` and ``docs/observability.md``.
 """
 
+from repro.campaign.dist.breaker import CircuitBreaker
+from repro.campaign.dist.chaos import ChaosTransport, FaultPlan
 from repro.campaign.dist.costmodel import AutoscalePolicy, CostModel
 from repro.campaign.dist.executor import DistributedExecutor
 from repro.campaign.dist.incremental import CampaignSnapshot, snapshot_campaign
@@ -67,14 +78,16 @@ from repro.campaign.dist.queue import (
     cost_for_priority,
     priority_for_cost,
 )
-from repro.campaign.dist.sharding import ShardedTransport
+from repro.campaign.dist.sharding import EpochMismatch, ShardedTransport
 from repro.campaign.dist.transport import (
     ClaimUnsupported,
+    DegradedResult,
     FsTransport,
     HttpTransport,
     MemoryTransport,
     QueueTransport,
     TransportError,
+    is_degraded,
     transport_from_address,
 )
 
@@ -98,9 +111,14 @@ __all__ = [
     "AutoscalePolicy",
     "Broker",
     "CampaignSnapshot",
+    "ChaosTransport",
+    "CircuitBreaker",
     "ClaimUnsupported",
     "CostModel",
+    "DegradedResult",
     "DistributedExecutor",
+    "EpochMismatch",
+    "FaultPlan",
     "FsTransport",
     "HttpTransport",
     "MemoryTransport",
@@ -111,6 +129,7 @@ __all__ = [
     "WorkQueue",
     "Worker",
     "cost_for_priority",
+    "is_degraded",
     "priority_for_cost",
     "snapshot_campaign",
     "transport_from_address",

@@ -1,0 +1,166 @@
+"""Per-store circuit breaker: stop hammering a dead shard, probe it back.
+
+A fleet-of-N transport must not let one dead shard consume every
+caller's retry budget on every operation.  :class:`CircuitBreaker`
+implements the classic three-state machine:
+
+* **closed** — traffic flows; consecutive failures are counted.
+* **open** — after ``failure_threshold`` consecutive failures the
+  breaker trips: :meth:`allow` answers ``False`` (callers shed the
+  operation instantly instead of burning a connect-retry budget) until
+  ``cooldown_seconds`` have elapsed.
+* **half-open** — once the cooldown elapses, exactly **one** caller is
+  admitted as a probe; everyone else keeps being shed until the probe
+  resolves.  A successful probe recloses the breaker (failure count
+  reset); a failed probe reopens it with a fresh cooldown.
+
+The breaker never retries anything itself and holds no references to
+the guarded store — callers ask :meth:`allow`, run the operation, and
+report the outcome via :meth:`record_success` / :meth:`record_failure`.
+All three methods are thread-safe and O(1); ``clock`` is injectable
+(``time.monotonic``-like) so state-machine tests never sleep.
+
+>>> clock = iter([0.0, 0.0, 1.0, 2.0, 5.5]).__next__
+>>> breaker = CircuitBreaker(failure_threshold=2, cooldown_seconds=5.0,
+...                          clock=clock)
+>>> breaker.record_failure(), breaker.record_failure()  # t=0: trips
+('closed', 'open')
+>>> breaker.allow()  # t=1: still cooling down
+False
+>>> breaker.allow()  # t=2
+False
+>>> breaker.allow()  # t=5.5: cooldown elapsed -> one probe admitted
+True
+>>> breaker.allow()  # probe unresolved -> everyone else shed
+False
+>>> breaker.record_success()
+'closed'
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+#: State names, also the values of :attr:`CircuitBreaker.state` (and what
+#: the ``shard_breaker_state`` gauge encodes via :func:`state_code`).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Gauge encoding for dashboards: higher is worse.
+_STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+def state_code(state: str) -> int:
+    """Numeric encoding of a breaker state for gauges (0/1/2 =
+    closed/half-open/open)."""
+    return _STATE_CODES.get(state, 2)
+
+
+class CircuitBreaker:
+    """Three-state (closed/open/half-open) breaker; see module docs.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures (with no success in between) that trip a
+        *closed* breaker open.  Clamped to >= 1.
+    cooldown_seconds:
+        How long an open breaker sheds before admitting one half-open
+        probe.
+    clock:
+        Monotonic-seconds source; injectable for tests.
+    """
+
+    def __init__(self, failure_threshold: int = 5,
+                 cooldown_seconds: float = 5.0,
+                 clock=time.monotonic):
+        self.failure_threshold = max(1, int(failure_threshold))
+        self.cooldown_seconds = float(cooldown_seconds)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at: float = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        """Current state name (``closed`` / ``open`` / ``half-open``).
+
+        Read-only and side-effect free: an open breaker whose cooldown
+        has elapsed still reports ``open`` until a caller's
+        :meth:`allow` actually admits the probe.
+        """
+        with self._lock:
+            return self._state
+
+    @property
+    def failures(self) -> int:
+        """Consecutive failures recorded since the last success."""
+        with self._lock:
+            return self._failures
+
+    def allow(self) -> bool:
+        """Should the caller attempt the operation right now?
+
+        Closed: always.  Open: only once ``cooldown_seconds`` have
+        elapsed — which transitions to half-open and admits *this*
+        caller as the single probe.  Half-open: ``False`` while the
+        probe is unresolved.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if (self._clock() - self._opened_at
+                        >= self.cooldown_seconds):
+                    self._state = HALF_OPEN
+                    self._probing = True
+                    return True
+                return False
+            # HALF_OPEN: one probe at a time.
+            if not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> str:
+        """Report a successful operation; returns the new state.
+
+        Any success recloses the breaker and resets the failure count —
+        including a half-open probe's success, which is the recovery
+        path.
+        """
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+            self._probing = False
+            return self._state
+
+    def record_failure(self) -> str:
+        """Report a failed operation; returns the new state.
+
+        A failed half-open probe reopens immediately with a fresh
+        cooldown; a closed breaker trips open once the consecutive
+        count reaches ``failure_threshold``.
+        """
+        with self._lock:
+            now = self._clock()
+            self._failures += 1
+            if self._state == HALF_OPEN:
+                self._state = OPEN
+                self._opened_at = now
+                self._probing = False
+            elif (self._state == CLOSED
+                    and self._failures >= self.failure_threshold):
+                self._state = OPEN
+                self._opened_at = now
+            return self._state
+
+    def __repr__(self) -> str:
+        return (f"CircuitBreaker(state={self.state!r}, "
+                f"failures={self.failures}, "
+                f"threshold={self.failure_threshold}, "
+                f"cooldown={self.cooldown_seconds})")

@@ -1,0 +1,274 @@
+"""Deterministic fault injection for the transport seam.
+
+:class:`ChaosTransport` wraps any :class:`~repro.campaign.dist.transport.
+QueueTransport` and injects faults described by a declarative
+:class:`FaultPlan` — per-op-kind error rates, added latency, full
+partition windows, and *torn writes* (the operation is applied to the
+inner store but the caller is told it failed — the nastiest case for
+an exactly-once queue, because every retry path must tolerate its own
+successful past).  Faults are drawn from a seeded RNG, so a chaos run
+is reproducible: same plan, same op sequence, same faults.
+
+The wrapper implements the *full* transport protocol — point ops, the
+batch primitives (``get_many`` / ``put_many`` / ``delete_many`` /
+``mutate_many``), ``list_page``, and the optional ``claim_first`` /
+``stats`` probes (exposed only when the inner transport has them, so
+capability detection by callers keeps working).  It composes under
+:class:`~repro.campaign.dist.sharding.ShardedTransport`, which is the
+point: wrap one shard of a fleet and the router's circuit breakers,
+degraded reads and claim failover can be exercised without killing a
+real broker.
+
+``ChaosTransport.address`` is always ``None``: the faults live in *this
+process*, so handing the inner store's address to a freshly spawned
+worker process would silently route it around the chaos.  Fleets under
+chaos are therefore thread fleets — exactly what
+:class:`~repro.campaign.dist.executor.DistributedExecutor` spawns for
+an address-less queue.
+
+>>> from repro.campaign.dist.transport import MemoryTransport
+>>> store = MemoryTransport()
+>>> chaos = ChaosTransport(store, FaultPlan(seed=7).fail_next(1, "put"))
+>>> chaos.put("k", b"v")  # doctest: +IGNORE_EXCEPTION_DETAIL
+Traceback (most recent call last):
+TransportError: chaos: injected put fault
+>>> tag = chaos.put("k", b"v")  # the one-shot fault is spent
+>>> chaos.get("k") == (b"v", tag)
+True
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.dist.transport import QueueTransport, TransportError
+from repro.campaign.obs import MetricsRegistry, get_registry
+
+#: Every op kind a :class:`FaultPlan` can target.  ``"*"`` matches all.
+OP_KINDS = ("get", "put", "cas", "delete", "list", "get_many", "put_many",
+            "delete_many", "mutate_many", "list_page", "claim_first")
+
+#: Ops that write: only these can tear (apply-then-report-failure).
+#: ``claim_first`` belongs here — a torn claim leaves a dangling lease
+#: the caller does not know it owns, which must expire and requeue.
+MUTATING_OPS = frozenset({"put", "cas", "delete", "put_many", "delete_many",
+                          "mutate_many", "claim_first"})
+
+
+class FaultPlan:
+    """Declarative, seeded fault schedule for a :class:`ChaosTransport`.
+
+    All configuration methods return ``self`` so plans read as one
+    chained expression::
+
+        plan = (FaultPlan(seed=11)
+                .error_rate(0.05)                  # 5% of every op
+                .torn_writes(0.2, "mutate_many")   # torn settles
+                .add_latency(0.002, "get")
+                .fail_between(t0, t1))             # full partition window
+
+    Decisions are drawn from ``random.Random(seed)`` in op order (one
+    draw per op), so a single-threaded op sequence faults identically
+    across runs.  Partition windows and one-shot ``fail_next`` faults
+    are deterministic regardless of the RNG — a partitioned store fails
+    *every* op whose clock falls in a window.  ``clock`` is injectable
+    (``time.monotonic``-like) so window tests never sleep.
+    """
+
+    def __init__(self, seed: int = 0, clock=time.monotonic):
+        self.seed = int(seed)
+        self._rng = random.Random(self.seed)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._error_rates: Dict[str, float] = {}
+        self._torn_rates: Dict[str, float] = {}
+        self._latency: Dict[str, float] = {}
+        self._one_shot: Dict[str, int] = {}
+        self._windows: List[Tuple[float, float]] = []
+
+    # -- configuration (chainable) ----------------------------------------
+    def error_rate(self, rate: float, op: str = "*") -> "FaultPlan":
+        """Fail this fraction of ``op`` calls (before they reach the
+        store)."""
+        self._error_rates[op] = max(0.0, min(1.0, float(rate)))
+        return self
+
+    def torn_writes(self, rate: float, op: str = "*") -> "FaultPlan":
+        """Tear this fraction of mutating ``op`` calls: the operation is
+        applied, then reported as failed."""
+        self._torn_rates[op] = max(0.0, min(1.0, float(rate)))
+        return self
+
+    def add_latency(self, seconds: float, op: str = "*") -> "FaultPlan":
+        """Sleep this long before every ``op`` call."""
+        self._latency[op] = max(0.0, float(seconds))
+        return self
+
+    def fail_next(self, count: int = 1, op: str = "*") -> "FaultPlan":
+        """Deterministically fail the next ``count`` calls of ``op`` —
+        the drop-one-request regression harness."""
+        self._one_shot[op] = self._one_shot.get(op, 0) + max(0, int(count))
+        return self
+
+    def fail_between(self, start: float, stop: float) -> "FaultPlan":
+        """Full partition window: every op with ``start <= clock() <
+        stop`` fails.  Windows stack."""
+        self._windows.append((float(start), float(stop)))
+        return self
+
+    # -- decisions (used by ChaosTransport) -------------------------------
+    def _rate(self, table: Dict[str, float], op: str) -> float:
+        return table.get(op, table.get("*", 0.0))
+
+    def latency_for(self, op: str) -> float:
+        """Configured added latency for ``op`` (seconds)."""
+        return self._rate(self._latency, op)
+
+    def partitioned(self, now: Optional[float] = None) -> bool:
+        """Is the plan's clock currently inside a partition window?"""
+        now = self._clock() if now is None else now
+        return any(start <= now < stop for start, stop in self._windows)
+
+    def decide(self, op: str, mutating: bool = False) -> Optional[str]:
+        """Verdict for one call of ``op``: ``None`` (proceed),
+        ``"error"`` (fail before the store) or ``"torn"`` (apply, then
+        report failure).  Partition windows and one-shot faults decide
+        without touching the RNG; rate verdicts consume exactly one
+        draw, so fault sequences are a pure function of
+        (seed, op sequence)."""
+        with self._lock:
+            if self.partitioned():
+                return "error"
+            for scope in (op, "*"):
+                if self._one_shot.get(scope, 0) > 0:
+                    self._one_shot[scope] -= 1
+                    return "error"
+            draw = self._rng.random()
+            error = self._rate(self._error_rates, op)
+            if draw < error:
+                return "error"
+            if mutating and draw < error + self._rate(self._torn_rates, op):
+                return "torn"
+            return None
+
+
+class ChaosTransport(QueueTransport):
+    """A transport that lies, drops and stalls on a schedule; see module
+    docs.  ``inner`` is the real store; ``plan`` the fault schedule.
+
+    Injected failures are raised as plain
+    :class:`~repro.campaign.dist.transport.TransportError` carrying the
+    *inner* store's address — indistinguishable from real outages, which
+    is the contract every resilience layer above is tested against.
+    Faults are counted in the obs registry (``chaos_faults_total``, by
+    op and kind) so a chaos run's injection volume is auditable.
+    """
+
+    #: Never the inner address: a spawned process would bypass the chaos.
+    address = None
+
+    def __init__(self, inner: QueueTransport,
+                 plan: Optional[FaultPlan] = None,
+                 registry: Optional[MetricsRegistry] = None):
+        self.inner = inner
+        self.plan = plan if plan is not None else FaultPlan()
+        registry = registry if registry is not None else get_registry()
+        self._faults = registry.counter(
+            "chaos_faults_total", "faults injected by ChaosTransport, "
+            "by op and kind (error/torn)")
+        # Capability mirroring: callers probe `callable(t.claim_first)` /
+        # `callable(t.stats)` — a wrapper must not advertise endpoints
+        # its inner store lacks.  Instance attributes shadow the class
+        # methods.
+        if not callable(getattr(inner, "claim_first", None)):
+            self.claim_first = None  # type: ignore[assignment]
+        if not callable(getattr(inner, "stats", None)):
+            self.stats = None  # type: ignore[assignment]
+
+    # -- fault funnel ------------------------------------------------------
+    def _apply(self, op: str, call):
+        delay = self.plan.latency_for(op)
+        if delay > 0.0:
+            time.sleep(delay)
+        mutating = op in MUTATING_OPS
+        verdict = self.plan.decide(op, mutating=mutating)
+        address = getattr(self.inner, "address", None)
+        if verdict == "error":
+            self._faults.inc(op=op, kind="error")
+            raise TransportError(f"chaos: injected {op} fault",
+                                 address=address)
+        result = call()
+        if verdict == "torn":
+            self._faults.inc(op=op, kind="torn")
+            raise TransportError(
+                f"chaos: torn {op} (applied, then the reply was dropped)",
+                address=address)
+        return result
+
+    # -- point ops ---------------------------------------------------------
+    def get(self, key: str) -> Optional[Tuple[bytes, str]]:
+        return self._apply("get", lambda: self.inner.get(key))
+
+    def put(self, key: str, data: bytes) -> str:
+        return self._apply("put", lambda: self.inner.put(key, data))
+
+    def cas(self, key: str, data: bytes,
+            if_match: Optional[str]) -> Optional[str]:
+        return self._apply(
+            "cas", lambda: self.inner.cas(key, data, if_match=if_match))
+
+    def delete(self, key: str, if_match: Optional[str] = None) -> bool:
+        return self._apply(
+            "delete", lambda: self.inner.delete(key, if_match=if_match))
+
+    def list(self, prefix: str) -> List[str]:
+        return self._apply("list", lambda: self.inner.list(prefix))
+
+    # -- batch / pagination ------------------------------------------------
+    def get_many(self, keys: Sequence[str]
+                 ) -> List[Optional[Tuple[bytes, str]]]:
+        return self._apply("get_many", lambda: self.inner.get_many(keys))
+
+    def put_many(self, items: Sequence[Tuple[str, bytes, Optional[str]]]
+                 ) -> List[Optional[str]]:
+        return self._apply("put_many", lambda: self.inner.put_many(items))
+
+    def delete_many(self, items: Sequence[Tuple[str, Optional[str]]]
+                    ) -> List[bool]:
+        return self._apply(
+            "delete_many", lambda: self.inner.delete_many(items))
+
+    def mutate_many(self, ops: Sequence[Tuple]) -> List[object]:
+        return self._apply("mutate_many", lambda: self.inner.mutate_many(ops))
+
+    def list_page(self, prefix: str, max_keys: int,
+                  start_after: str = "") -> Tuple[List[str], Optional[str]]:
+        return self._apply(
+            "list_page", lambda: self.inner.list_page(
+                prefix, max_keys, start_after=start_after))
+
+    # -- optional endpoints (shadowed to None when the inner lacks them) ---
+    def claim_first(self, prefix: str = "pending/", worker: str = "",
+                    now: Optional[float] = None,
+                    lease_seconds: Optional[float] = None) -> Optional[dict]:
+        return self._apply(
+            "claim_first", lambda: self.inner.claim_first(
+                prefix=prefix, worker=worker, now=now,
+                lease_seconds=lease_seconds))
+
+    def stats(self) -> Optional[dict]:
+        """Pass-through, fault-free: chaos targets the data path, and a
+        dashboard that cannot see a store *because of the injector* would
+        report the wrong failure."""
+        return self.inner.stats()
+
+    def close(self) -> None:
+        closer = getattr(self.inner, "close", None)
+        if callable(closer):
+            closer()
+
+    def __repr__(self) -> str:
+        return f"ChaosTransport({self.inner!r}, seed={self.plan.seed})"

@@ -438,13 +438,22 @@ class DistributedExecutor:
             # fastest a lease can possibly expire — so the per-tick work
             # is just the terminal-listing probes below.
             now = time.monotonic()
-            if now >= next_scavenge:
-                queue.requeue_expired()
-                next_scavenge = now + queue.lease_seconds / 2.0
-                self._autoscale_tick(queue, handles)
-            # Name-derived keys only: no record reads on the poll path.
-            if keys <= queue.terminal_keys():
-                return
+            try:
+                if now >= next_scavenge:
+                    queue.requeue_expired()
+                    next_scavenge = now + queue.lease_seconds / 2.0
+                    self._autoscale_tick(queue, handles)
+                # Name-derived keys only: no record reads on the poll path.
+                if keys <= queue.terminal_keys():
+                    return
+            except (OSError, TransportError) as exc:
+                # A partition window (or a tripped shard breaker) must not
+                # kill the orchestrator while workers are riding out the
+                # same outage — keep polling until the drain deadline,
+                # which remains the outage budget of last resort.
+                self._events.event(
+                    "drain-poll-error",
+                    error=f"{type(exc).__name__}: {exc}")
             if time.monotonic() >= deadline:
                 raise TimeoutError(
                     f"distributed campaign did not drain within "

@@ -25,9 +25,12 @@ than constructing a router, because the router's epoch handshake writes
 ``meta/epoch`` — and a dashboard must never write.
 
 Against a broker that predates ``GET /stats`` the server columns degrade
-to ``-`` and the queue-depth columns keep working.  Exit status: ``0``
-after a clean run, ``2`` on usage errors, ``3`` when any shard is
-unreachable.
+to ``-`` and the queue-depth columns keep working.  An *unreachable*
+shard renders as a ``DOWN`` row while the aggregate line keeps summing
+the reachable shards (``N/M shards``) — a dashboard watching a degraded
+fleet must show the degradation, not die of it.  Exit status: ``0``
+after a clean run, ``2`` on usage errors, ``3`` only when **no** shard
+answers.
 """
 
 from __future__ import annotations
@@ -119,9 +122,16 @@ def _depth_cell(depths: Dict[str, Tuple[int, bool]], state: str) -> str:
 
 
 class _ShardSample:
-    """One shard's poll: server stats, queue depths, worker reports."""
+    """One shard's poll: server stats, queue depths, worker reports.
+
+    An unreachable shard yields a *down* sample (:meth:`down_sample`):
+    empty depths and workers, ``error`` holding the failure — rendered
+    as a ``DOWN`` row instead of killing the whole dashboard tick.
+    """
 
     def __init__(self, transport: HttpTransport):
+        self.down = False
+        self.error: Optional[str] = None
         self.stats = transport.stats()       # None against an old broker
         self.depths = queue_depths(transport)
         self.workers = worker_reports(transport)
@@ -140,6 +150,23 @@ class _ShardSample:
                                          "broker_inflight_requests")
             self.bytes_in = counter_total(snapshot, "broker_bytes_in_total")
             self.bytes_out = counter_total(snapshot, "broker_bytes_out_total")
+
+    @classmethod
+    def down_sample(cls, error: BaseException) -> "_ShardSample":
+        """A placeholder sample for a shard that did not answer."""
+        sample = cls.__new__(cls)
+        sample.down = True
+        sample.error = f"{type(error).__name__}: {error}"
+        sample.stats = None
+        sample.depths = {}
+        sample.workers = {}
+        sample.uptime = None
+        sample.requests = None
+        sample.rate = None
+        sample.inflight = None
+        sample.bytes_in = None
+        sample.bytes_out = None
+        return sample
 
 
 def _merge_depths(samples: List[_ShardSample]) -> Dict[str, Tuple[int, bool]]:
@@ -199,7 +226,13 @@ class FleetSampler:
     def _poll(self) -> List[_ShardSample]:
         samples = []
         for index, shard in enumerate(self.shards):
-            sample = _ShardSample(shard)
+            try:
+                sample = _ShardSample(shard)
+            except (TransportError, OSError) as exc:
+                # One dead shard must not blind the dashboard to the
+                # rest of the fleet: render it DOWN and keep polling.
+                samples.append(_ShardSample.down_sample(exc))
+                continue
             now = time.monotonic()
             prev_requests = self._prev_requests[index]
             prev_at = self._prev_at[index]
@@ -217,8 +250,18 @@ class FleetSampler:
         """Poll every shard once and render the tick.
 
         One aggregate summary line; fleets with more than one shard get
-        an extra indented row per shard under it."""
+        an extra indented row per shard under it.  Unreachable shards
+        render as ``DOWN`` rows while the aggregate line sums the
+        reachable shards (with an ``N/M shards`` cell); only when **no**
+        shard answers does the tick raise ``TransportError`` (the CLI
+        maps that to exit code 3)."""
         samples = self._poll()
+        up = [sample for sample in samples if not sample.down]
+        if not up:
+            errors = "; ".join(sample.error or "unreachable"
+                               for sample in samples)
+            raise TransportError(
+                f"no shard answered ({len(samples)} polled): {errors}")
         clock = time.strftime("%H:%M:%S")
         depths = _merge_depths(samples)
         workers = _merge_workers(samples)
@@ -247,14 +290,19 @@ class FleetSampler:
                    f"| {len(workers)} workers @ {throughput:.1f} jobs/s")
         if len(self.shards) == 1:
             return summary
+        summary += f" | {len(up)}/{len(samples)} shards"
         rows = [summary]
         for shard, sample in zip(self.shards, samples):
+            url = getattr(shard, "base_url", shard)
+            if sample.down:
+                rows.append(f"  shard {url} | DOWN ({sample.error})")
+                continue
             shard_rate = (f"{sample.rate:.1f} req/s"
                           if sample.rate is not None
                           else ("- req/s" if sample.stats is None
                                 else "... req/s"))
             rows.append(
-                f"  shard {getattr(shard, 'base_url', shard)} "
+                f"  shard {url} "
                 f"| {shard_rate} "
                 f"| pending {_depth_cell(sample.depths, 'pending')} "
                 f"claimed {_depth_cell(sample.depths, 'claims')} "
@@ -295,13 +343,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     # Per-shard transports, NOT a ShardedTransport: the router's epoch
     # handshake writes ``meta/epoch``, and a dashboard must never write
-    # to the fleet it is watching.
-    transports = [HttpTransport(url) for url in urls]
+    # to the fleet it is watching.  A short retry budget keeps a DOWN
+    # shard from stalling every tick behind a full backoff schedule —
+    # the next poll is the dashboard's retry.
+    transports = [HttpTransport(url, retries=1, retry_delay=0.1)
+                  for url in urls]
     sampler = FleetSampler(transports)
     ticks = 0
     try:
         while True:
             try:
+                # line() absorbs per-shard outages (DOWN rows) and raises
+                # only when not a single shard answered.
                 print(sampler.line(), flush=True)
             except (TransportError, OSError) as exc:
                 print(f"error: broker unreachable: {exc}", file=sys.stderr)

@@ -148,6 +148,42 @@ class TransportError(Exception):
         self.address = address
 
 
+class DegradedResult(list):
+    """A partial scatter-gather result: a plain ``list`` tagged with the
+    shards that could not answer.
+
+    Returned by :class:`~repro.campaign.dist.sharding.ShardedTransport`
+    reads under ``degraded_reads=True`` instead of raising on the first
+    unreachable shard.  Being a ``list`` subclass, every existing
+    consumer keeps working unchanged; callers that must *not* act on a
+    partial view (e.g. ``WorkQueue.drained``) check
+    :func:`is_degraded` and refuse.  ``missing_shards`` lists the
+    identities of the shards whose data is absent.
+    """
+
+    def __init__(self, items: Sequence = (),
+                 missing_shards: Sequence[str] = ()):
+        super().__init__(items)
+        self.missing_shards = list(missing_shards)
+
+    def __repr__(self) -> str:
+        return (f"DegradedResult({list(self)!r}, "
+                f"missing_shards={self.missing_shards!r})")
+
+
+def is_degraded(value) -> bool:
+    """True when ``value`` is a partial (degraded) scatter-gather result.
+
+    >>> is_degraded([1, 2])
+    False
+    >>> is_degraded(DegradedResult([1], missing_shards=["http://b2"]))
+    True
+    >>> is_degraded(DegradedResult([1], missing_shards=[]))
+    False
+    """
+    return bool(getattr(value, "missing_shards", None))
+
+
 class ClaimUnsupported(Exception):
     """The transport's backend cannot run the claim scan server-side.
 

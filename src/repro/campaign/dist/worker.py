@@ -25,11 +25,25 @@ claim.  Workload exceptions settle as completed-with-error results (the
 same contract as the in-process executors); only infrastructure failures —
 the job could not be run at all — consume a retry attempt.
 
+A *transient* transport failure mid-loop (a broker restarting, one
+dropped request, a sharded fleet's partition window) does **not** kill
+the worker: the loop retries with bounded, jittered backoff until the
+outage has lasted ``--max-outage`` seconds (default 30; ``0`` fails
+fast), mirroring the per-beat tolerance of the lease-heartbeat thread.
+A settle interrupted by such a failure is retried in place (the settle
+batch is conditional, so replaying it is safe) rather than abandoning
+the executed result to a lease expiry.  A *cache* transport that dies
+mid-run only degrades deduplication — probes/stores are skipped with a
+``cache-degraded`` event and the job executes anyway — while an
+unreachable cache at startup is a config error (exit 3, probed once).
+Only a *sustained* queue outage — or an unreachable store at startup —
+surfaces as exit code 3.
+
 Exit codes (documented in ``docs/distributed.md``): **0** — clean exit
 (drained, idle timeout, or job budget reached); **2** — bad command line
-(argparse); **3** — the queue or cache transport is unreachable (broker
-down, unwritable directory), reported as a one-line message rather than a
-traceback.
+(argparse); **3** — the queue or cache transport is unreachable for
+longer than the outage budget (broker down, unwritable directory),
+reported as a one-line message rather than a traceback.
 
 Workers with custom (non-built-in) cases set ``REPRO_CASE_PROVIDERS`` to a
 colon-separated list of modules to import before execution (see
@@ -40,11 +54,12 @@ from __future__ import annotations
 
 import argparse
 import os
+import random
 import socket
 import sys
 import threading
 import time
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.campaign.cache import TransportResultCache, open_cache
 from repro.campaign.dist.queue import WorkItem, WorkQueue
@@ -136,6 +151,13 @@ class Worker:
         Exit after this many consecutive seconds without a claimable job.
         Autoscaled fleets use this as their scale-*down* path: surplus
         workers starve and exit; nothing ever preempts a running job.
+    max_outage:
+        Transient-failure budget: a :class:`TransportError` (or
+        ``OSError``) in the claim/settle loop is retried with bounded
+        jittered backoff until the outage has lasted this many
+        consecutive seconds, then re-raised (the CLI maps it to exit
+        code 3).  ``0`` fails fast on the first error; ``None`` retries
+        forever.  Any successful operation resets the budget.
     crash_after_claims:
         Test hook: simulate a worker crash immediately after the N-th
         successful claim, *before* settling it, leaving a dangling lease.
@@ -154,6 +176,7 @@ class Worker:
                  max_jobs: Optional[int] = None,
                  exit_when_drained: bool = False,
                  deadline: Optional[float] = None,
+                 max_outage: Optional[float] = 30.0,
                  crash_after_claims: Optional[int] = None,
                  crash_mode: str = "exit",
                  log=None):
@@ -170,6 +193,7 @@ class Worker:
         #: (a job already executing runs to completion — claims are not
         #: preemptible, exactly like SerialExecutor).
         self.deadline = deadline
+        self.max_outage = max_outage
         self.crash_after_claims = crash_after_claims
         self.crash_mode = crash_mode
         self._log = log or (lambda _line: None)
@@ -206,34 +230,55 @@ class Worker:
     def run(self) -> int:
         """Process jobs until a stop condition holds; returns jobs settled.
 
+        Transient :class:`TransportError` / ``OSError`` anywhere in the
+        scavenge-claim-settle loop is absorbed with bounded jittered
+        backoff (see ``max_outage``) — a worker must ride out a broker
+        restart or a sharded fleet's partition window rather than dying
+        on the first dropped request.  A job whose settle was interrupted
+        is *safe either way*: its lease expires and the ticket requeues,
+        and the result cache deduplicates any re-execution.
+
         Raises
         ------
         TransportError:
-            The queue's backing store became unreachable (retries
-            exhausted).  The CLI maps this to exit code 3.
+            The queue's backing store stayed unreachable past the
+            ``max_outage`` budget.  The CLI maps this to exit code 3.
         WorkerCrash:
             Only under the ``crash_mode="abandon"`` test hook.
         """
         idle_since: Optional[float] = None
         next_scavenge = 0.0
+        outage_since: Optional[float] = None
+        outage_retries = 0
         while True:
             if self.max_jobs is not None and self.processed >= self.max_jobs:
                 break
             if (self.deadline is not None
                     and time.monotonic() >= self.deadline):
                 break
-            # Scavenging scans every claim document; leases cannot expire
-            # faster than lease_seconds, so once per half-lease per worker
-            # gives identical recovery latency at a fraction of the
-            # (possibly NFS or HTTP) metadata traffic.
-            now = time.monotonic()
-            if now >= next_scavenge:
-                self.queue.requeue_expired()
-                next_scavenge = now + self.queue.lease_seconds / 2.0
-            item = self.queue.claim(self.worker_id)
-            if item is None:
-                if self.exit_when_drained and self.queue.drained():
+            try:
+                # Scavenging scans every claim document; leases cannot
+                # expire faster than lease_seconds, so once per half-lease
+                # per worker gives identical recovery latency at a
+                # fraction of the (possibly NFS or HTTP) metadata traffic.
+                now = time.monotonic()
+                if now >= next_scavenge:
+                    self.queue.requeue_expired()
+                    next_scavenge = now + self.queue.lease_seconds / 2.0
+                item = self.queue.claim(self.worker_id)
+                if (item is None and self.exit_when_drained
+                        and self.queue.drained()):
                     break
+            except (OSError, TransportError) as exc:
+                outage_since, outage_retries = self._outage_pause(
+                    exc, outage_since, outage_retries)
+                continue
+            if outage_since is not None:
+                self._events.event(
+                    "transport-recovered", retries=outage_retries,
+                    outage_seconds=round(time.monotonic() - outage_since, 3))
+                outage_since, outage_retries = None, 0
+            if item is None:
                 now = time.monotonic()
                 idle_since = idle_since if idle_since is not None else now
                 if (self.idle_timeout is not None
@@ -251,9 +296,73 @@ class Worker:
                     os._exit(42)
                 raise WorkerCrash(f"abandoned {item.key} after claim "
                                   f"#{self.claims}")
-            self._run_item(item)
+            try:
+                self._run_item(item)
+            except (OSError, TransportError) as exc:
+                # The cache probe/store failed, or the settle's own retry
+                # budget ran out — the claim is either already settled (a
+                # torn write) or will expire and requeue, and the cache
+                # dedups a re-execution.  Either way the job is not lost,
+                # so ride out the outage.
+                outage_since, outage_retries = self._outage_pause(
+                    exc, outage_since, outage_retries)
+                continue
             self.processed += 1
         return self.processed
+
+    def _outage_pause(self, exc: BaseException,
+                      outage_since: Optional[float],
+                      retries: int) -> Tuple[float, int]:
+        """Sleep out one transient transport failure, or give up.
+
+        Re-raises the active exception once the outage has lasted
+        ``max_outage`` consecutive seconds; otherwise sleeps a
+        full-jitter exponential delay (capped at 2s and at the remaining
+        budget — the same idiom as ``HttpTransport``'s retry backoff)
+        and returns the updated ``(outage_since, retries)``.
+        """
+        now = time.monotonic()
+        started = now if outage_since is None else outage_since
+        elapsed = now - started
+        if self.max_outage is not None and elapsed >= self.max_outage:
+            raise
+        base = max(0.05, self.poll_interval)
+        ceiling = min(max(base, 2.0), base * (2 ** min(retries, 6)))
+        delay = random.uniform(0.0, ceiling)
+        if self.max_outage is not None:
+            delay = min(delay, max(0.0, self.max_outage - elapsed))
+        get_registry().counter(
+            "worker_transport_retries_total",
+            "transient transport errors absorbed by the worker loop").inc()
+        self._events.event(
+            "transport-retry", error=f"{type(exc).__name__}: {exc}",
+            elapsed=round(elapsed, 3), delay=round(delay, 3),
+            budget=self.max_outage)
+        time.sleep(delay)
+        return started, retries + 1
+
+    def _complete(self, item: WorkItem, result: JobResult,
+                  timing: Optional[dict] = None) -> None:
+        """Settle a claim, retrying transient transport errors in place.
+
+        An executed result is the expensive half of the loop — abandoning
+        it to one dropped settle reply forces a full re-execution after
+        the lease expires.  The settle batch is conditional end to end
+        (content-derived result overwrite, create-only done marker,
+        etag-guarded claim delete), so replaying it is safe: an
+        already-applied settle is a no-op, a lost one is applied.  The
+        retry shares the same ``max_outage`` budget/backoff idiom as the
+        outer loop and re-raises once it is exhausted.
+        """
+        outage_since: Optional[float] = None
+        retries = 0
+        while True:
+            try:
+                self.queue.complete(item, result, timing=timing)
+                return
+            except (OSError, TransportError) as exc:
+                outage_since, retries = self._outage_pause(
+                    exc, outage_since, retries)
 
     # -- one claim ---------------------------------------------------------
     def _timing(self, item: WorkItem, **stamps: float) -> dict:
@@ -270,14 +379,45 @@ class Worker:
         return {key: float(value) for key, value in timing.items()
                 if value is not None}
 
+    def _cache_get(self, job) -> Optional[JobResult]:
+        """Probe the shared cache, degrading to a miss on a dead cache.
+
+        The cache is a *dedup optimization* — results are content-derived,
+        so executing without it is always correct.  Letting a cache-broker
+        outage abort the claim would be strictly worse: each abort burns a
+        lease cycle and a retry attempt until the job dead-letters.  (An
+        unreachable cache at *startup* is still a config error: the CLI
+        probes it once and exits 3.)
+        """
+        try:
+            return result_from_record_or_none(self.cache.get(job),
+                                              cached=True)
+        except (OSError, TransportError) as exc:
+            self._cache_degraded(exc, "probe")
+            return None
+
+    def _cache_put(self, job, record: dict) -> None:
+        """Store into the shared cache; a dead cache only costs dedup."""
+        try:
+            self.cache.put(job, record)
+        except (OSError, TransportError) as exc:
+            self._cache_degraded(exc, "store")
+
+    def _cache_degraded(self, exc: BaseException, op: str) -> None:
+        get_registry().counter(
+            "worker_cache_degraded_total",
+            "cache probes/stores skipped because the cache transport "
+            "was unreachable").inc(op=op)
+        self._events.event("cache-degraded", op=op,
+                           error=f"{type(exc).__name__}: {exc}")
+
     def _run_item(self, item: WorkItem) -> JobResult:
         job = item.job
         if self.cache is not None:
-            result = result_from_record_or_none(self.cache.get(job),
-                                                cached=True)
+            result = self._cache_get(job)
             if result is not None:
                 now = time.time()
-                self.queue.complete(item, result, timing=self._timing(
+                self._complete(item, result, timing=self._timing(
                     item, started_at=now, finished_at=now,
                     stored_at=time.time()))
                 self.cache_served += 1
@@ -310,8 +450,8 @@ class Worker:
                              error=f"{type(exc).__name__}: {exc}")
         finished_at = time.time()
         if self.cache is not None and result.ok:
-            self.cache.put(job, {"result": result.to_record()})
-        self.queue.complete(item, result, timing=self._timing(
+            self._cache_put(job, {"result": result.to_record()})
+        self._complete(item, result, timing=self._timing(
             item, started_at=started_at, finished_at=finished_at,
             stored_at=time.time()))
         status = "ok" if result.ok else f"error: {result.error}"
@@ -350,8 +490,9 @@ def main(argv: Optional[list] = None) -> int:
             "  0  clean exit (queue drained, idle timeout, or --max-jobs "
             "reached)\n"
             "  2  bad command line\n"
-            "  3  queue or cache transport unreachable (broker down / "
-            "directory unwritable)\n"))
+            "  3  queue or cache transport unreachable at startup, or "
+            "unreachable\n"
+            "     mid-loop for longer than --max-outage seconds\n"))
     parser.add_argument("--queue", required=True,
                         help="work-queue directory or broker URL "
                              "(http://host:port), as created by the "
@@ -379,6 +520,12 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--transport-retries", type=int, default=5,
                         help="connection retries before giving up on an "
                              "unreachable broker (exit code 3)")
+    parser.add_argument("--max-outage", type=float, default=30.0,
+                        help="keep retrying transient transport errors "
+                             "mid-loop with jittered backoff until the "
+                             "outage has lasted this many seconds, then "
+                             "exit 3 (default: 30; 0 fails fast on the "
+                             "first error)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-job progress lines")
     # Test hook: simulate a worker crash (hard exit) mid-job.
@@ -398,11 +545,20 @@ def main(argv: Optional[list] = None) -> int:
             args.queue, retries=args.transport_retries))
         cache = (open_cache(args.cache, retries=args.transport_retries)
                  if args.cache else None)
+        if cache is not None:
+            # Probe the cache once up front: pointing a fleet at a dead
+            # cache broker is a config error and fails fast (exit 3),
+            # while a cache that dies *mid-run* merely degrades dedup
+            # (see Worker._cache_get/_cache_put).
+            probe = getattr(cache, "transport", None)
+            if probe is not None:
+                probe.list_page("", 1)
         worker = Worker(queue, cache=cache, worker_id=args.worker_id,
                         poll_interval=args.poll_interval,
                         idle_timeout=args.idle_timeout,
                         max_jobs=args.max_jobs,
                         exit_when_drained=args.exit_when_drained,
+                        max_outage=args.max_outage,
                         crash_after_claims=args.crash_after_claims,
                         log=log)
         processed = worker.run()

@@ -307,11 +307,13 @@ def counter_total(snapshot: Dict[str, Any], name: str) -> float:
 
 
 def series_value(snapshot: Dict[str, Any], kind: str, name: str,
-                 **labels: Any) -> Optional[float]:
+                 /, **labels: Any) -> Optional[float]:
     """One series' value in a snapshot, or ``None`` when absent.
 
     ``kind`` is ``"counters"`` or ``"gauges"``; labels must match the
-    series' label set exactly.
+    series' label set exactly.  The leading parameters are positional-only
+    so that ``kind``/``name``/``snapshot`` stay usable as *label* names
+    (the chaos fault counter labels its series by fault ``kind``).
     """
     wanted = {str(k): str(v) for k, v in labels.items()}
     for entry in (snapshot.get(kind) or {}).get(name) or []:

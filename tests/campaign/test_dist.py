@@ -400,7 +400,7 @@ def test_incremental_aggregation_over_half_drained_queue(tmp_path):
     assert snap.progress == pytest.approx(4 / 8)
     meta = snap.result.meta["incremental"]
     assert meta == {"total": 8, "done": 3, "pending": 3, "running": 1,
-                    "failed": 1}
+                    "failed": 1, "shards_reporting": None}
 
     # The partial aggregate matches the serial run on the completed subset.
     serial_by_id = {r.job_id: r for r in serial}

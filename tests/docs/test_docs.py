@@ -35,7 +35,7 @@ def _anchors(markdown: str):
 
 def test_doc_tree_exists():
     for name in ("architecture.md", "distributed.md", "cookbook.md",
-                 "observability.md"):
+                 "observability.md", "robustness.md"):
         assert (REPO / "docs" / name).is_file(), f"docs/{name} missing"
 
 
@@ -62,6 +62,8 @@ def test_relative_links_resolve(doc):
     "repro.campaign.cache",
     "repro.campaign.dist.transport",
     "repro.campaign.dist.costmodel",
+    "repro.campaign.dist.breaker",
+    "repro.campaign.dist.chaos",
 ])
 def test_docstring_examples_pass(module_name):
     module = __import__(module_name, fromlist=["_"])
